@@ -1,0 +1,217 @@
+package p3cmr
+
+import (
+	"testing"
+
+	"p3cmr/internal/bow"
+	"p3cmr/internal/core"
+	"p3cmr/internal/doc"
+	"p3cmr/internal/mr"
+	"p3cmr/internal/proclus"
+)
+
+func genAPITestData(t *testing.T, n int, seed int64) (*Dataset, *GroundTruth) {
+	t.Helper()
+	data, truth, err := GenerateSynthetic(SyntheticConfig{
+		N: n, Dim: 15, Clusters: 3, NoiseFraction: 0.1, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, truth
+}
+
+func TestAlgorithmNames(t *testing.T) {
+	names := map[Algorithm]string{
+		P3C:            "P3C",
+		P3CPlus:        "P3C+",
+		P3CPlusMR:      "MR (MVB)",
+		P3CPlusMRNaive: "MR (Naive)",
+		P3CPlusMRLight: "MR (Light)",
+		BoWLight:       "BoW (Light)",
+		BoWMVB:         "BoW (MVB)",
+	}
+	for a, want := range names {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q, want %q", a, a.String(), want)
+		}
+	}
+	if Algorithm(99).String() == "" {
+		t.Error("unknown algorithm must still render")
+	}
+}
+
+// TestRunAllAlgorithms drives every variant through the public API on one
+// data set and sanity-checks the unified result.
+func TestRunAllAlgorithms(t *testing.T) {
+	data, truth := genAPITestData(t, 4000, 2)
+	for _, algo := range []Algorithm{P3C, P3CPlus, P3CPlusMR, P3CPlusMRNaive, P3CPlusMRLight, BoWLight, BoWMVB} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			cfg := Config{Algorithm: algo}
+			if algo == BoWLight || algo == BoWMVB {
+				params := bow.NewLightParams()
+				if algo == BoWMVB {
+					params = bow.NewMVBParams()
+				}
+				params.SamplesPerReducer = 1500
+				cfg.BoW = &params
+			}
+			res, err := Run(data, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Labels) != data.N() {
+				t.Fatalf("labels = %d", len(res.Labels))
+			}
+			if len(res.Clusters) != len(res.Signatures) {
+				t.Fatalf("%d clusters vs %d signatures", len(res.Clusters), len(res.Signatures))
+			}
+			e4sc := E4SCAgainstTruth(res, data, truth)
+			t.Logf("clusters=%d jobs=%d E4SC=%.3f", len(res.Clusters), res.Jobs, e4sc)
+			if algo != P3C && e4sc < 0.4 {
+				t.Errorf("E4SC = %.3f unexpectedly low", e4sc)
+			}
+		})
+	}
+}
+
+func TestRunWithCustomParams(t *testing.T) {
+	data, _ := genAPITestData(t, 2000, 5)
+	params := core.LightParams()
+	params.ThetaCC = 0.5
+	params.NumSplits = 4
+	res, err := Run(data, Config{Algorithm: P3CPlusMRLight, Params: &params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Core == nil || res.BoW != nil {
+		t.Fatal("core result routing wrong")
+	}
+}
+
+func TestRunWithCustomEngine(t *testing.T) {
+	data, _ := genAPITestData(t, 2000, 6)
+	engine := mr.NewEngine(mr.Config{Parallelism: 2, NumReducers: 8, Cost: mr.DefaultCostModel()})
+	res, err := Run(data, Config{Algorithm: P3CPlusMRLight, Engine: engine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SimulatedSeconds <= 0 {
+		t.Error("cost model not applied through custom engine")
+	}
+	if engine.JobsRun() != res.Jobs {
+		t.Errorf("engine jobs %d != result jobs %d", engine.JobsRun(), res.Jobs)
+	}
+}
+
+func TestSimulateClusterFlag(t *testing.T) {
+	data, _ := genAPITestData(t, 1500, 7)
+	res, err := Run(data, Config{Algorithm: P3CPlusMRLight, SimulateCluster: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SimulatedSeconds <= 0 {
+		t.Error("SimulateCluster did not enable the cost model")
+	}
+	res2, err := Run(data, Config{Algorithm: P3CPlusMRLight})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.SimulatedSeconds != 0 {
+		t.Error("cost model enabled without the flag")
+	}
+}
+
+func TestEvaluationHelpers(t *testing.T) {
+	data, truth := genAPITestData(t, 2000, 8)
+	res, err := Run(data, Config{Algorithm: P3CPlusMRLight})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found, err := FoundClustering(res, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := TruthClustering(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{
+		"E4SC": E4SC(found, tc),
+		"F1":   F1(found, tc),
+		"RNIA": RNIA(found, tc),
+		"CE":   CE(found, tc),
+	} {
+		if v < 0 || v > 1 {
+			t.Errorf("%s = %g out of range", name, v)
+		}
+	}
+	// Self-comparison of the truth is perfect.
+	if E4SC(tc, tc) != 1 {
+		t.Error("truth vs itself must be 1")
+	}
+	if Accuracy([]int{0, 0}, []int{1, 1}) != 1 {
+		t.Error("accuracy re-export broken")
+	}
+}
+
+func TestPROCLUSAndDOCThroughAPI(t *testing.T) {
+	data, truth := genAPITestData(t, 3000, 17)
+	tc, err := TruthClustering(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PROCLUS gets the true k and a plausible l.
+	pp := proclus.Params{K: 3, L: 4, Seed: 1}
+	res, err := Run(data, Config{Algorithm: PROCLUS, PROCLUS: &pp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found, err := FoundClustering(res, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 := F1(found, tc); f1 < 0.4 {
+		t.Errorf("PROCLUS F1 = %.3f", f1)
+	}
+	// DOC.
+	dp := doc.Params{K: 3, W: 0.25, Seed: 1}
+	res, err = Run(data, Config{Algorithm: DOC, DOC: &dp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) == 0 {
+		t.Error("DOC found nothing")
+	}
+	// Missing configs are rejected.
+	if _, err := Run(data, Config{Algorithm: PROCLUS}); err == nil {
+		t.Error("PROCLUS without params accepted")
+	}
+	if _, err := Run(data, Config{Algorithm: DOC}); err == nil {
+		t.Error("DOC without params accepted")
+	}
+	if PROCLUS.String() != "PROCLUS" || DOC.String() != "DOC" || P3CPlusMRMVE.String() != "MR (MVE)" {
+		t.Error("algorithm names wrong")
+	}
+}
+
+func TestGenerateSyntheticForcesOverlap(t *testing.T) {
+	// The public generator always enables Overlap, matching §7.1.
+	_, truth, err := GenerateSynthetic(SyntheticConfig{N: 500, Dim: 20, Clusters: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := truth.Clusters[0], truth.Clusters[1]
+	shared := false
+	for i, aa := range a.Attrs {
+		for j, ba := range b.Attrs {
+			if aa == ba && a.Lo[i] <= b.Hi[j] && b.Lo[j] <= a.Hi[i] {
+				shared = true
+			}
+		}
+	}
+	if !shared {
+		t.Error("no forced overlap")
+	}
+}

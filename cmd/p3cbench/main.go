@@ -1,0 +1,159 @@
+// Command p3cbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	p3cbench -exp all                 # every experiment at default scale
+//	p3cbench -exp fig5 -sizes 1000,10000
+//	p3cbench -exp billion -n 100000
+//	p3cbench -exp fig6 -paperscale    # paper parameters (capped at 1e6)
+//
+// Experiments: fig1, fig4, fig5, fig6, fig7, billion, colon, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"p3cmr/internal/experiments"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "experiment: fig1|fig4|fig5|fig6|fig7|billion|colon|zoo|all")
+		sizes      = flag.String("sizes", "", "comma-separated data-set sizes (default: experiment scale)")
+		dim        = flag.Int("dim", 0, "data dimensionality (default 20; paper used 50)")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		reducers   = flag.Int("reducers", 112, "modeled reducer count for runtime experiments")
+		samples    = flag.Int("samples", 0, "BoW samples per reducer (default: largest size / 10)")
+		billionN   = flag.Int("n", 0, "size for the billion-point analogue (default: 4x largest size)")
+		paperScale = flag.Bool("paperscale", false, "use paper-sized parameters (sizes capped at 1e6)")
+		csvOut     = flag.Bool("csv", false, "emit machine-readable CSV instead of tables (fig1/fig4/fig5/fig6/fig7/zoo)")
+	)
+	flag.Parse()
+
+	scale := experiments.DefaultScale()
+	if *paperScale {
+		scale = experiments.PaperScale()
+	}
+	if *sizes != "" {
+		parsed, err := parseSizes(*sizes)
+		if err != nil {
+			fatal(err)
+		}
+		scale.Sizes = parsed
+	}
+	if *dim > 0 {
+		scale.Dim = *dim
+	}
+	scale.Seed = *seed
+	scale.Reducers = *reducers
+
+	emit := func(err error) {
+		if err != nil {
+			fatal(err)
+		}
+	}
+	run := func(name string) {
+		switch name {
+		case "fig1":
+			rows := experiments.Figure1(nil)
+			if *csvOut {
+				emit(experiments.WriteFigure1CSV(os.Stdout, rows))
+				return
+			}
+			experiments.RenderFigure1(os.Stdout, rows)
+		case "fig4":
+			rows, err := experiments.Figure4(scale)
+			if err != nil {
+				fatal(err)
+			}
+			if *csvOut {
+				emit(experiments.WriteFigure4CSV(os.Stdout, rows))
+				return
+			}
+			experiments.RenderFigure4(os.Stdout, rows)
+		case "fig5":
+			rows, err := experiments.Figure5(scale, nil, nil)
+			if err != nil {
+				fatal(err)
+			}
+			if *csvOut {
+				emit(experiments.WriteFigure5CSV(os.Stdout, rows))
+				return
+			}
+			experiments.RenderFigure5(os.Stdout, rows)
+		case "fig6":
+			rows, err := experiments.Figure6(scale, *samples)
+			if err != nil {
+				fatal(err)
+			}
+			if *csvOut {
+				emit(experiments.WriteFigure6CSV(os.Stdout, rows))
+				return
+			}
+			experiments.RenderFigure6(os.Stdout, rows)
+		case "fig7":
+			rows, err := experiments.Figure7(scale, *samples)
+			if err != nil {
+				fatal(err)
+			}
+			if *csvOut {
+				emit(experiments.WriteFigure7CSV(os.Stdout, rows))
+				return
+			}
+			experiments.RenderFigure7(os.Stdout, rows)
+		case "billion":
+			row, err := experiments.Billion(scale, *billionN, *samples)
+			if err != nil {
+				fatal(err)
+			}
+			experiments.RenderBillion(os.Stdout, row)
+		case "colon":
+			row, err := experiments.Colon(*seed)
+			if err != nil {
+				fatal(err)
+			}
+			experiments.RenderColon(os.Stdout, row)
+		case "zoo":
+			rows, err := experiments.Zoo(scale)
+			if err != nil {
+				fatal(err)
+			}
+			if *csvOut {
+				emit(experiments.WriteZooCSV(os.Stdout, rows))
+				return
+			}
+			experiments.RenderZoo(os.Stdout, rows)
+		default:
+			fatal(fmt.Errorf("unknown experiment %q", name))
+		}
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"fig1", "fig4", "fig5", "fig6", "fig7", "billion", "colon", "zoo"} {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "p3cbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,208 @@
+// Command p3crun clusters a data set with any of the implemented
+// algorithms and prints the found projected clusters (tightened interval
+// signatures) plus a per-point label file.
+//
+// Usage:
+//
+//	p3crun -in data.bin -algo mr-light
+//	p3crun -in data.csv -format csv -algo bow-light -labels labels.txt
+//	p3crun -in data.bin -algo mr-mvb -theta 0.35 -alpha-poi 0.01
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"p3cmr"
+	"p3cmr/internal/core"
+	"p3cmr/internal/dataset"
+	"p3cmr/internal/mr"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "input data file (required)")
+		format    = flag.String("format", "bin", "input format: bin|csv")
+		algo      = flag.String("algo", "mr-light", "algorithm: p3c|p3c+|mr-mvb|mr-naive|mr-light|bow-light|bow-mvb")
+		labelsOut = flag.String("labels", "", "write per-point labels to this file")
+		theta     = flag.Float64("theta", 0, "override effect-size threshold θcc")
+		alphaPoi  = flag.Float64("alpha-poi", 0, "override Poisson significance level")
+		alphaChi  = flag.Float64("alpha-chi", 0, "override chi-square significance level")
+		splits    = flag.Int("splits", 0, "input splits (0 = default)")
+		simulate  = flag.Bool("simulate", false, "report modeled cluster runtime (112-reducer cost model)")
+		normalize = flag.Bool("normalize", false, "min-max normalize attributes to [0,1] first")
+		jsonOut   = flag.Bool("json", false, "emit the result as JSON on stdout")
+		members   = flag.Bool("members", false, "include member lists in JSON output")
+		jobStats  = flag.Bool("jobstats", false, "print per-job MapReduce statistics")
+	)
+	flag.Parse()
+	if *in == "" {
+		fatal(fmt.Errorf("-in is required"))
+	}
+
+	data, err := readData(*in, *format)
+	if err != nil {
+		fatal(err)
+	}
+	if *normalize {
+		data.Normalize()
+	}
+
+	alg, ok := algorithms[*algo]
+	if !ok {
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+	var engine *mr.Engine
+	if *jobStats || *simulate {
+		ec := mr.Config{}
+		if *simulate {
+			ec.Cost = mr.DefaultCostModel()
+		}
+		engine = mr.NewEngine(ec)
+	}
+	cfg := p3cmr.Config{Algorithm: alg, SimulateCluster: *simulate, Engine: engine}
+	if *theta > 0 || *alphaPoi > 0 || *alphaChi > 0 || *splits > 0 {
+		params := paramsFor(alg)
+		if *theta > 0 {
+			params.ThetaCC = *theta
+		}
+		if *alphaPoi > 0 {
+			params.AlphaPoisson = *alphaPoi
+		}
+		if *alphaChi > 0 {
+			params.AlphaChi2 = *alphaChi
+		}
+		if *splits > 0 {
+			params.NumSplits = *splits
+		}
+		cfg.Params = &params
+	}
+
+	res, err := p3cmr.Run(data, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		if err := res.WriteJSON(os.Stdout, alg, *members); err != nil {
+			fatal(err)
+		}
+		if *labelsOut != "" {
+			if err := writeLabels(*labelsOut, res.Labels); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+
+	fmt.Printf("algorithm: %s\n", alg)
+	fmt.Printf("points: %d  dim: %d  clusters found: %d  MR jobs: %d\n",
+		data.N(), data.Dim, len(res.Clusters), res.Jobs)
+	if *simulate {
+		fmt.Printf("modeled cluster runtime: %.1f s\n", res.SimulatedSeconds)
+	}
+	for i, sig := range res.Signatures {
+		size := 0
+		if i < len(res.Clusters) {
+			size = len(res.Clusters[i].Objects)
+		}
+		fmt.Printf("cluster %d (%d points): %s\n", i, size, sig)
+	}
+
+	if *labelsOut != "" {
+		if err := writeLabels(*labelsOut, res.Labels); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("labels written to %s\n", *labelsOut)
+	}
+
+	if *jobStats && engine != nil {
+		printJobStats(engine)
+	}
+}
+
+// printJobStats renders the engine's per-job-name accounting, sorted by
+// accumulated map input (the dominant cost driver).
+func printJobStats(engine *mr.Engine) {
+	stats := engine.JobStatsByName()
+	names := make([]string, 0, len(stats))
+	for name := range stats {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		return stats[names[i]].Counters.MapInputRecords > stats[names[j]].Counters.MapInputRecords
+	})
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "\njob\truns\tmap in\tmap out\tshuffled B\tmodeled s")
+	for _, name := range names {
+		js := stats[name]
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%.1f\n",
+			name, js.Runs, js.Counters.MapInputRecords, js.Counters.MapOutputRecords,
+			js.Counters.ShuffledBytes, js.SimulatedSeconds)
+	}
+	tw.Flush()
+}
+
+var algorithms = map[string]p3cmr.Algorithm{
+	"p3c":       p3cmr.P3C,
+	"p3c+":      p3cmr.P3CPlus,
+	"mr-mvb":    p3cmr.P3CPlusMR,
+	"mr-naive":  p3cmr.P3CPlusMRNaive,
+	"mr-light":  p3cmr.P3CPlusMRLight,
+	"bow-light": p3cmr.BoWLight,
+	"bow-mvb":   p3cmr.BoWMVB,
+	"mr-mve":    p3cmr.P3CPlusMRMVE,
+}
+
+func paramsFor(a p3cmr.Algorithm) core.Params {
+	switch a {
+	case p3cmr.P3C:
+		return core.OriginalP3CParams()
+	case p3cmr.P3CPlusMRLight:
+		return core.LightParams()
+	default:
+		return core.NewParams()
+	}
+}
+
+func readData(path, format string) (*dataset.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch strings.ToLower(format) {
+	case "bin":
+		return dataset.ReadBinary(f)
+	case "csv":
+		return dataset.ReadCSV(f)
+	default:
+		return nil, fmt.Errorf("unknown format %q", format)
+	}
+}
+
+func writeLabels(path string, labels []int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for _, l := range labels {
+		fmt.Fprintln(w, l)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "p3crun:", err)
+	os.Exit(1)
+}

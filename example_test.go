@@ -1,0 +1,50 @@
+package p3cmr_test
+
+import (
+	"fmt"
+
+	"p3cmr"
+)
+
+// ExampleRun clusters a small synthetic data set with P3C+-MR-Light and
+// prints the cluster count — the library's minimal end-to-end flow.
+func ExampleRun() {
+	data, _, err := p3cmr.GenerateSynthetic(p3cmr.SyntheticConfig{
+		N: 5000, Dim: 12, Clusters: 3, NoiseFraction: 0.05, Seed: 42,
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := p3cmr.Run(data, p3cmr.Config{Algorithm: p3cmr.P3CPlusMRLight})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("clusters:", len(res.Clusters))
+	// Output: clusters: 3
+}
+
+// ExampleE4SC evaluates a perfect self-match — the measure's calibration
+// point.
+func ExampleE4SC() {
+	_, truth, err := p3cmr.GenerateSynthetic(p3cmr.SyntheticConfig{
+		N: 500, Dim: 8, Clusters: 2, Seed: 7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	tc, err := p3cmr.TruthClustering(truth)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("E4SC(truth, truth) = %.1f\n", p3cmr.E4SC(tc, tc))
+	// Output: E4SC(truth, truth) = 1.0
+}
+
+// ExampleAlgorithm_String shows the figure-legend names of the variants.
+func ExampleAlgorithm_String() {
+	fmt.Println(p3cmr.P3CPlusMRLight)
+	fmt.Println(p3cmr.BoWLight)
+	// Output:
+	// MR (Light)
+	// BoW (Light)
+}

@@ -1,0 +1,75 @@
+// Algorithm zoo: every projected clustering algorithm in the library — the
+// P3C family, the BoW baseline, and the §2 related-work baselines PROCLUS
+// and DOC — on one data set, with all four quality measures side by side.
+// This is the comparison a practitioner runs before choosing an algorithm.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"p3cmr"
+	"p3cmr/internal/doc"
+	"p3cmr/internal/proclus"
+)
+
+func main() {
+	data, truth, err := p3cmr.GenerateSynthetic(p3cmr.SyntheticConfig{
+		N:             8000,
+		Dim:           20,
+		Clusters:      4,
+		NoiseFraction: 0.10,
+		Seed:          5,
+		// PROCLUS and DOC both prefer compact subspaces; keep the planted
+		// clusters in 3–5 dimensions so every contender has a fair shot.
+		MinClusterDims: 3, MaxClusterDims: 5,
+		MinWidth: 0.1, MaxWidth: 0.2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tc, err := p3cmr.TruthClustering(truth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("data: %d x %d, 4 hidden clusters (3-5 dims each), 10%% noise\n\n", data.N(), data.Dim)
+
+	type contender struct {
+		name string
+		cfg  p3cmr.Config
+	}
+	proclusParams := proclus.Params{K: 4, L: 4, Seed: 1}
+	docParams := doc.Params{K: 4, W: 0.2, Seed: 1}
+	contenders := []contender{
+		{"P3C (original)", p3cmr.Config{Algorithm: p3cmr.P3C}},
+		{"P3C+-MR (MVB)", p3cmr.Config{Algorithm: p3cmr.P3CPlusMR}},
+		{"P3C+-MR-Light", p3cmr.Config{Algorithm: p3cmr.P3CPlusMRLight}},
+		{"BoW (Light)", p3cmr.Config{Algorithm: p3cmr.BoWLight}},
+		{"PROCLUS k=4 l=4", p3cmr.Config{Algorithm: p3cmr.PROCLUS, PROCLUS: &proclusParams}},
+		{"DOC k=4 w=0.2", p3cmr.Config{Algorithm: p3cmr.DOC, DOC: &docParams}},
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "algorithm\tclusters\tE4SC\tF1\tRNIA\tCE")
+	for _, c := range contenders {
+		res, err := p3cmr.Run(data, c.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		found, err := p3cmr.FoundClustering(res, data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.3f\t%.3f\t%.3f\n",
+			c.name, len(res.Clusters),
+			p3cmr.E4SC(found, tc), p3cmr.F1(found, tc),
+			p3cmr.RNIA(found, tc), p3cmr.CE(found, tc))
+	}
+	tw.Flush()
+
+	fmt.Println("\nnote: P3C-family algorithms determine the cluster count themselves;")
+	fmt.Println("PROCLUS and DOC were given the true k — and still trail on the")
+	fmt.Println("subspace-aware measures, the gap §2 of the paper predicts.")
+}

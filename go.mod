@@ -1,0 +1,3 @@
+module p3cmr
+
+go 1.22

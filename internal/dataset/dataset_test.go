@@ -1,0 +1,226 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDatasetBasics(t *testing.T) {
+	d := New(3)
+	if d.N() != 0 {
+		t.Fatal("fresh dataset not empty")
+	}
+	d.Append([]float64{1, 2, 3})
+	d.Append([]float64{4, 5, 6})
+	if d.N() != 2 {
+		t.Fatalf("n = %d", d.N())
+	}
+	if r := d.Row(1); r[0] != 4 || r[2] != 6 {
+		t.Fatalf("row = %v", r)
+	}
+}
+
+func TestAppendDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2).Append([]float64{1})
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d := FromRows(2, []float64{1, 2, 3, 4})
+	c := d.Clone()
+	c.Rows[0] = 99
+	if d.Rows[0] != 1 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	d := FromRows(2, []float64{0, 0, 1, 1, 2, 2, 3, 3})
+	s := d.Subset([]int{3, 1})
+	if s.N() != 2 || s.Row(0)[0] != 3 || s.Row(1)[0] != 1 {
+		t.Fatalf("subset wrong: %v", s.Rows)
+	}
+}
+
+func TestSplitsPartitionExactly(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		dim := 1 + rng.Intn(5)
+		numSplits := 1 + rng.Intn(20)
+		d := New(dim)
+		d.Rows = make([]float64, n*dim)
+		for i := range d.Rows {
+			d.Rows[i] = rng.Float64()
+		}
+		splits := d.Splits(numSplits)
+		total := 0
+		expectedOffset := 0
+		for _, s := range splits {
+			if s.Offset != expectedOffset {
+				return false
+			}
+			total += s.NumRows()
+			expectedOffset += s.NumRows()
+		}
+		if total != n {
+			return false
+		}
+		// Sizes differ by at most one (the paper's natural load balance).
+		minSz, maxSz := n, 0
+		for _, s := range splits {
+			if s.NumRows() < minSz {
+				minSz = s.NumRows()
+			}
+			if s.NumRows() > maxSz {
+				maxSz = s.NumRows()
+			}
+		}
+		return maxSz-minSz <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitsEdgeCases(t *testing.T) {
+	d := FromRows(1, []float64{1, 2, 3})
+	if got := len(d.Splits(10)); got != 3 {
+		t.Errorf("more splits than rows: %d", got)
+	}
+	if got := len(d.Splits(0)); got != 1 {
+		t.Errorf("zero splits: %d", got)
+	}
+	empty := New(2)
+	if got := len(empty.Splits(4)); got != 0 {
+		t.Errorf("empty dataset splits: %d", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	d := FromRows(2, []float64{
+		10, 5,
+		20, 5,
+		30, 5,
+	})
+	d.Normalize()
+	if d.Row(0)[0] != 0 || d.Row(2)[0] != 1 || d.Row(1)[0] != 0.5 {
+		t.Fatalf("normalize col0 = %v", d.Rows)
+	}
+	// Constant attribute maps to 0.
+	for i := 0; i < 3; i++ {
+		if d.Row(i)[1] != 0 {
+			t.Fatal("constant attribute not zeroed")
+		}
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	d := FromRows(1, []float64{-0.1, 0.5, 1.2})
+	d.Clamp01()
+	if d.Rows[0] != 0 || d.Rows[2] != 1 || d.Rows[1] != 0.5 {
+		t.Fatalf("clamp = %v", d.Rows)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	d := FromRows(2, []float64{1, 2})
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d.Rows[0] = math.NaN()
+	if err := d.Validate(); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	d.Rows[0] = math.Inf(1)
+	if err := d.Validate(); err == nil {
+		t.Fatal("Inf accepted")
+	}
+	bad := &Dataset{Dim: 2, Rows: []float64{1, 2, 3}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	d := FromRows(2, []float64{1, 9, 5, 3, 2, 6})
+	mins, maxs := d.Bounds()
+	if mins[0] != 1 || maxs[0] != 5 || mins[1] != 3 || maxs[1] != 9 {
+		t.Fatalf("bounds = %v %v", mins, maxs)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d := New(7)
+	for i := 0; i < 123; i++ {
+		row := make([]float64, 7)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		d.Append(row)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim != 7 || got.N() != 123 {
+		t.Fatalf("shape %dx%d", got.N(), got.Dim)
+	}
+	for i := range d.Rows {
+		if got.Rows[i] != d.Rows[i] {
+			t.Fatalf("value mismatch at %d", i)
+		}
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader(make([]byte, 24))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := FromRows(3, []float64{1, 2.5, 3, -4, 5e-3, 6})
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Rows {
+		if got.Rows[i] != d.Rows[i] {
+			t.Fatalf("csv mismatch at %d: %g vs %g", i, got.Rows[i], d.Rows[i])
+		}
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty CSV accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2\n3\n")); err == nil {
+		t.Fatal("ragged CSV accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,x\n")); err == nil {
+		t.Fatal("non-numeric CSV accepted")
+	}
+	d, err := ReadCSV(strings.NewReader("1,2\n\n3,4\n"))
+	if err != nil || d.N() != 2 {
+		t.Fatal("blank lines must be skipped")
+	}
+}

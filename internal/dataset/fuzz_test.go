@@ -1,0 +1,77 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks the CSV parser never panics and that anything it
+// accepts round-trips through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("1,2,3\n4,5,6\n")
+	f.Add("0.5\n")
+	f.Add("1e10,-2.5e-3\nNaN,4\n")
+	f.Add(",,\n")
+	f.Add("1,2\n3\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		d, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Accepted input must satisfy the structural invariants.
+		if err := d.Validate(); err != nil {
+			t.Fatalf("accepted invalid dataset: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := d.WriteCSV(&buf); err != nil {
+			t.Fatalf("write accepted dataset: %v", err)
+		}
+		d2, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("reparse written dataset: %v", err)
+		}
+		if d2.N() != d.N() || d2.Dim != d.Dim {
+			t.Fatalf("round trip changed shape: %dx%d vs %dx%d", d2.N(), d2.Dim, d.N(), d.Dim)
+		}
+	})
+}
+
+// FuzzReadBinary checks the binary parser never panics on corrupt input.
+func FuzzReadBinary(f *testing.F) {
+	d := FromRows(2, []float64{0.1, 0.2, 0.3, 0.4})
+	var buf bytes.Buffer
+	if err := d.WriteBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add(make([]byte, 24))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		got, err := ReadBinary(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("accepted invalid dataset: %v", err)
+		}
+	})
+}
+
+// FuzzReadGroundTruth checks the sidecar parser never panics and that
+// accepted truths re-serialize.
+func FuzzReadGroundTruth(f *testing.F) {
+	f.Add("# n=3 dim=2 clusters=1\ncluster 0 attrs 0:0.1:0.5 members 0 2\nnoise 1\n")
+	f.Add("# n=0 dim=0 clusters=0\nnoise\n")
+	f.Add("cluster 0 attrs")
+	f.Fuzz(func(t *testing.T, in string) {
+		gt, err := ReadGroundTruth(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteGroundTruth(&buf, gt); err != nil {
+			t.Fatalf("write accepted truth: %v", err)
+		}
+	})
+}

@@ -1,0 +1,328 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// GenConfig parameterizes the synthetic projected-cluster generator of the
+// paper's evaluation (§7.1): hyperrectangular clusters, Gaussian within each
+// relevant interval, uniform on irrelevant attributes, uniform background
+// noise, and at least one pair of clusters overlapping on a relevant
+// attribute.
+type GenConfig struct {
+	// N is the total number of points including noise.
+	N int
+	// Dim is the data dimensionality (paper: 50, billion-run: 100).
+	Dim int
+	// Clusters is the number of hidden clusters (paper: 3, 5, 7).
+	Clusters int
+	// NoiseFraction in [0,1) is the share of uniform noise points
+	// (paper: 0, 0.05, 0.10, 0.20).
+	NoiseFraction float64
+	// MinClusterDims/MaxClusterDims bound cluster subspace sizes
+	// (paper: 2..10). Zero values default to 2 and 10.
+	MinClusterDims, MaxClusterDims int
+	// MinWidth/MaxWidth bound relevant-interval widths (paper: 0.1..0.3).
+	// Zero values default to 0.1 and 0.3.
+	MinWidth, MaxWidth float64
+	// Overlap forces at least two clusters to overlap on a shared relevant
+	// attribute, as every generated data set in the paper does.
+	Overlap bool
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.MinClusterDims <= 0 {
+		c.MinClusterDims = 2
+	}
+	if c.MaxClusterDims <= 0 {
+		c.MaxClusterDims = 10
+	}
+	if c.MaxClusterDims > c.Dim {
+		c.MaxClusterDims = c.Dim
+	}
+	if c.MinClusterDims > c.MaxClusterDims {
+		c.MinClusterDims = c.MaxClusterDims
+	}
+	if c.MinWidth <= 0 {
+		c.MinWidth = 0.1
+	}
+	if c.MaxWidth <= 0 {
+		c.MaxWidth = 0.3
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c GenConfig) Validate() error {
+	if c.N <= 0 {
+		return fmt.Errorf("dataset: GenConfig.N must be positive, got %d", c.N)
+	}
+	if c.Dim <= 0 {
+		return fmt.Errorf("dataset: GenConfig.Dim must be positive, got %d", c.Dim)
+	}
+	if c.Clusters <= 0 {
+		return fmt.Errorf("dataset: GenConfig.Clusters must be positive, got %d", c.Clusters)
+	}
+	if c.NoiseFraction < 0 || c.NoiseFraction >= 1 {
+		return fmt.Errorf("dataset: GenConfig.NoiseFraction must be in [0,1), got %g", c.NoiseFraction)
+	}
+	clusterPoints := int(float64(c.N) * (1 - c.NoiseFraction))
+	if clusterPoints < c.Clusters {
+		return fmt.Errorf("dataset: %d cluster points cannot populate %d clusters", clusterPoints, c.Clusters)
+	}
+	return nil
+}
+
+// Generate builds a synthetic data set and its ground truth.
+func Generate(cfg GenConfig) (*Dataset, *GroundTruth, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	numNoise := int(math.Round(float64(cfg.N) * cfg.NoiseFraction))
+	numClusterPts := cfg.N - numNoise
+
+	// Draw cluster shapes.
+	type shape struct {
+		attrs  []int
+		lo, hi []float64
+		size   int
+	}
+	shapes := make([]*shape, cfg.Clusters)
+	for c := range shapes {
+		nd := cfg.MinClusterDims
+		if cfg.MaxClusterDims > cfg.MinClusterDims {
+			nd += rng.Intn(cfg.MaxClusterDims - cfg.MinClusterDims + 1)
+		}
+		attrs := rng.Perm(cfg.Dim)[:nd]
+		sort.Ints(attrs)
+		lo := make([]float64, nd)
+		hi := make([]float64, nd)
+		for j := range attrs {
+			w := cfg.MinWidth + rng.Float64()*(cfg.MaxWidth-cfg.MinWidth)
+			start := rng.Float64() * (1 - w)
+			lo[j], hi[j] = start, start+w
+		}
+		shapes[c] = &shape{attrs: attrs, lo: lo, hi: hi}
+	}
+
+	// Force an overlap between clusters 0 and 1 on a shared attribute, as
+	// every paper data set has at least two overlapping clusters.
+	if cfg.Overlap && cfg.Clusters >= 2 {
+		a, b := shapes[0], shapes[1]
+		shared := a.attrs[0]
+		// Ensure the attribute is relevant for b too, overwriting b's first.
+		pos := -1
+		for j, attr := range b.attrs {
+			if attr == shared {
+				pos = j
+				break
+			}
+		}
+		if pos == -1 {
+			b.attrs[0] = shared
+			sort.Ints(b.attrs)
+			for j, attr := range b.attrs {
+				if attr == shared {
+					pos = j
+					break
+				}
+			}
+			// De-duplicate in the unlikely case shared already followed.
+			b.attrs = dedupInts(b.attrs)
+			for len(b.attrs) < len(b.lo) {
+				b.lo = b.lo[:len(b.attrs)]
+				b.hi = b.hi[:len(b.attrs)]
+			}
+		}
+		// Slide b's interval on the shared attribute to intersect a's.
+		w := b.hi[pos] - b.lo[pos]
+		center := (a.lo[0] + a.hi[0]) / 2
+		lo := center - w/2
+		if lo < 0 {
+			lo = 0
+		}
+		if lo+w > 1 {
+			lo = 1 - w
+		}
+		b.lo[pos], b.hi[pos] = lo, lo+w
+	}
+
+	// Distribute points over clusters (near-even with jitter).
+	remaining := numClusterPts
+	for c := range shapes {
+		left := cfg.Clusters - c
+		base := remaining / left
+		jitter := 0
+		if left > 1 && base > 4 {
+			jitter = rng.Intn(base/2+1) - base/4
+		}
+		sz := base + jitter
+		if sz < 1 {
+			sz = 1
+		}
+		if c == cfg.Clusters-1 {
+			sz = remaining
+		}
+		if sz > remaining {
+			sz = remaining
+		}
+		shapes[c].size = sz
+		remaining -= sz
+	}
+
+	data := New(cfg.Dim)
+	data.Rows = make([]float64, 0, cfg.N*cfg.Dim)
+	truth := &GroundTruth{N: cfg.N, Dim: cfg.Dim}
+
+	row := make([]float64, cfg.Dim)
+	next := 0
+	for _, sh := range shapes {
+		tc := &TrueCluster{
+			Attrs: append([]int(nil), sh.attrs...),
+			Lo:    append([]float64(nil), sh.lo...),
+			Hi:    append([]float64(nil), sh.hi...),
+		}
+		for p := 0; p < sh.size; p++ {
+			for j := range row {
+				row[j] = rng.Float64() // irrelevant attributes uniform
+			}
+			for j, attr := range sh.attrs {
+				row[attr] = truncatedGaussianInInterval(rng, sh.lo[j], sh.hi[j])
+			}
+			data.Append(row)
+			tc.Members = append(tc.Members, next)
+			next++
+		}
+		truth.Clusters = append(truth.Clusters, tc)
+	}
+	for p := 0; p < numNoise; p++ {
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		data.Append(row)
+		truth.Noise = append(truth.Noise, next)
+		next++
+	}
+
+	// Shuffle rows so splits are not cluster-sorted, remapping the truth.
+	perm := rng.Perm(cfg.N)
+	shuffled := make([]float64, len(data.Rows))
+	inv := make([]int, cfg.N)
+	for oldIdx, newIdx := range perm {
+		copy(shuffled[newIdx*cfg.Dim:(newIdx+1)*cfg.Dim], data.Row(oldIdx))
+		inv[oldIdx] = newIdx
+	}
+	data.Rows = shuffled
+	for _, tc := range truth.Clusters {
+		for i, m := range tc.Members {
+			tc.Members[i] = inv[m]
+		}
+	}
+	for i, m := range truth.Noise {
+		truth.Noise[i] = inv[m]
+	}
+	truth.SortMembers()
+	return data, truth, nil
+}
+
+// truncatedGaussianInInterval draws from a Gaussian centred in [lo,hi] whose
+// standard deviation is a quarter of the interval width, rejected into the
+// interval — the paper distributes cluster points "following a Gaussian
+// distribution" on each relevant interval.
+func truncatedGaussianInInterval(rng *rand.Rand, lo, hi float64) float64 {
+	mu := (lo + hi) / 2
+	sigma := (hi - lo) / 4
+	for i := 0; i < 64; i++ {
+		v := mu + rng.NormFloat64()*sigma
+		if v >= lo && v <= hi {
+			return v
+		}
+	}
+	return mu
+}
+
+func dedupInts(xs []int) []int {
+	out := xs[:0]
+	for i, v := range xs {
+		if i == 0 || v != xs[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// MicroarrayConfig parameterizes the high-dimensional small-n generator used
+// as the offline stand-in for the UCI colon-cancer data set (§7.6): two
+// classes, very many attributes, only a few discriminative ones.
+type MicroarrayConfig struct {
+	// Samples is the number of rows (colon cancer: 62).
+	Samples int
+	// Dim is the number of attributes (colon cancer: 2000).
+	Dim int
+	// Informative is the number of class-discriminative attributes.
+	Informative int
+	// PositiveFraction is the share of class-1 rows (colon cancer: 40/62).
+	PositiveFraction float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// GenerateMicroarray builds the two-class stand-in data set and returns it
+// with per-row class labels (0/1).
+func GenerateMicroarray(cfg MicroarrayConfig) (*Dataset, []int, error) {
+	if cfg.Samples <= 0 || cfg.Dim <= 0 {
+		return nil, nil, fmt.Errorf("dataset: microarray config requires positive samples and dim")
+	}
+	if cfg.Informative <= 0 || cfg.Informative > cfg.Dim {
+		return nil, nil, fmt.Errorf("dataset: informative attributes %d out of range", cfg.Informative)
+	}
+	if cfg.PositiveFraction <= 0 || cfg.PositiveFraction >= 1 {
+		return nil, nil, fmt.Errorf("dataset: positive fraction must be in (0,1)")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	data := New(cfg.Dim)
+	labels := make([]int, cfg.Samples)
+	info := rng.Perm(cfg.Dim)[:cfg.Informative]
+	nPos := int(math.Round(float64(cfg.Samples) * cfg.PositiveFraction))
+	row := make([]float64, cfg.Dim)
+	for i := 0; i < cfg.Samples; i++ {
+		cls := 0
+		if i < nPos {
+			cls = 1
+		}
+		labels[i] = cls
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		for _, a := range info {
+			// Class 1 concentrates low, class 0 concentrates high. The
+			// intervals are tight: a strongly discriminative gene must stay
+			// detectable in the coarse (⌈n^(1/3)⌉-bin) histograms the
+			// pipeline builds over only 62 samples.
+			if cls == 1 {
+				row[a] = truncatedGaussianInInterval(rng, 0.06, 0.22)
+			} else {
+				row[a] = truncatedGaussianInInterval(rng, 0.54, 0.72)
+			}
+		}
+		data.Append(row)
+	}
+	// Shuffle rows so classes interleave.
+	perm := rng.Perm(cfg.Samples)
+	shuffled := make([]float64, len(data.Rows))
+	newLabels := make([]int, cfg.Samples)
+	for oldIdx, newIdx := range perm {
+		copy(shuffled[newIdx*cfg.Dim:(newIdx+1)*cfg.Dim], data.Row(oldIdx))
+		newLabels[newIdx] = labels[oldIdx]
+	}
+	data.Rows = shuffled
+	return data, newLabels, nil
+}

@@ -1,0 +1,212 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateShapeAndTruth(t *testing.T) {
+	cfg := GenConfig{N: 2000, Dim: 20, Clusters: 4, NoiseFraction: 0.1, Seed: 3, Overlap: true}
+	data, truth, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.N() != 2000 || data.Dim != 20 {
+		t.Fatalf("shape %dx%d", data.N(), data.Dim)
+	}
+	if err := data.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(truth.Clusters) != 4 {
+		t.Fatalf("clusters = %d", len(truth.Clusters))
+	}
+	// Membership partition: every index appears exactly once.
+	seen := make([]bool, 2000)
+	count := 0
+	for _, tc := range truth.Clusters {
+		for _, m := range tc.Members {
+			if seen[m] {
+				t.Fatalf("point %d in two clusters", m)
+			}
+			seen[m] = true
+			count++
+		}
+	}
+	for _, m := range truth.Noise {
+		if seen[m] {
+			t.Fatalf("noise point %d also in cluster", m)
+		}
+		seen[m] = true
+		count++
+	}
+	if count != 2000 {
+		t.Fatalf("membership covers %d of 2000", count)
+	}
+	if len(truth.Noise) != 200 {
+		t.Fatalf("noise = %d, want 200", len(truth.Noise))
+	}
+}
+
+func TestGenerateMembersInsideIntervals(t *testing.T) {
+	data, truth, err := Generate(GenConfig{N: 1000, Dim: 10, Clusters: 3, Seed: 5, Overlap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, tc := range truth.Clusters {
+		if len(tc.Attrs) < 2 || len(tc.Attrs) > 10 {
+			t.Errorf("cluster %d has %d attrs", ci, len(tc.Attrs))
+		}
+		for j, a := range tc.Attrs {
+			w := tc.Hi[j] - tc.Lo[j]
+			if w < 0.1-1e-9 || w > 0.3+1e-9 {
+				t.Errorf("cluster %d attr %d width %g outside [0.1,0.3]", ci, a, w)
+			}
+			for _, m := range tc.Members {
+				v := data.Row(m)[a]
+				if v < tc.Lo[j]-1e-9 || v > tc.Hi[j]+1e-9 {
+					t.Fatalf("cluster %d member %d attr %d = %g outside [%g,%g]", ci, m, a, v, tc.Lo[j], tc.Hi[j])
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateOverlapForced(t *testing.T) {
+	_, truth, err := Generate(GenConfig{N: 500, Dim: 30, Clusters: 2, Seed: 11, Overlap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := truth.Clusters[0], truth.Clusters[1]
+	// Find a shared attribute with intersecting intervals.
+	found := false
+	for i, aa := range a.Attrs {
+		for j, ba := range b.Attrs {
+			if aa == ba && a.Lo[i] <= b.Hi[j] && b.Lo[j] <= a.Hi[i] {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no overlapping relevant attribute between clusters 0 and 1")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GenConfig{N: 300, Dim: 8, Clusters: 2, NoiseFraction: 0.05, Seed: 42, Overlap: true}
+	d1, t1, _ := Generate(cfg)
+	d2, t2, _ := Generate(cfg)
+	for i := range d1.Rows {
+		if d1.Rows[i] != d2.Rows[i] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+	if len(t1.Clusters[0].Members) != len(t2.Clusters[0].Members) {
+		t.Fatal("truth not deterministic")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []GenConfig{
+		{N: 0, Dim: 5, Clusters: 1},
+		{N: 100, Dim: 0, Clusters: 1},
+		{N: 100, Dim: 5, Clusters: 0},
+		{N: 100, Dim: 5, Clusters: 1, NoiseFraction: 1.0},
+		{N: 100, Dim: 5, Clusters: 1, NoiseFraction: -0.1},
+		{N: 5, Dim: 5, Clusters: 10},
+	}
+	for i, cfg := range bad {
+		if _, _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestGenerateValuesInUnitCube(t *testing.T) {
+	f := func(seed int64) bool {
+		data, _, err := Generate(GenConfig{
+			N: 200, Dim: 6, Clusters: 2, NoiseFraction: 0.1, Seed: seed, Overlap: true,
+		})
+		if err != nil {
+			return false
+		}
+		for _, v := range data.Rows {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroundTruthLabels(t *testing.T) {
+	_, truth, err := Generate(GenConfig{N: 100, Dim: 5, Clusters: 2, NoiseFraction: 0.2, Seed: 9, Overlap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := truth.Labels()
+	if len(labels) != 100 {
+		t.Fatalf("labels = %d", len(labels))
+	}
+	noise := 0
+	for _, l := range labels {
+		if l == -1 {
+			noise++
+		} else if l < 0 || l >= 2 {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+	if noise != len(truth.Noise) {
+		t.Fatalf("noise labels %d != %d", noise, len(truth.Noise))
+	}
+	set := truth.AttrSet(0)
+	for _, a := range truth.Clusters[0].Attrs {
+		if !set[a] {
+			t.Fatal("AttrSet missing attribute")
+		}
+	}
+}
+
+func TestGenerateMicroarray(t *testing.T) {
+	data, labels, err := GenerateMicroarray(MicroarrayConfig{
+		Samples: 62, Dim: 2000, Informative: 40, PositiveFraction: 40.0 / 62, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.N() != 62 || data.Dim != 2000 {
+		t.Fatalf("shape %dx%d", data.N(), data.Dim)
+	}
+	pos := 0
+	for _, l := range labels {
+		if l == 1 {
+			pos++
+		} else if l != 0 {
+			t.Fatalf("label %d", l)
+		}
+	}
+	if pos != 40 {
+		t.Fatalf("positives = %d, want 40", pos)
+	}
+	if err := data.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateMicroarrayValidation(t *testing.T) {
+	bad := []MicroarrayConfig{
+		{Samples: 0, Dim: 10, Informative: 2, PositiveFraction: 0.5},
+		{Samples: 10, Dim: 10, Informative: 0, PositiveFraction: 0.5},
+		{Samples: 10, Dim: 10, Informative: 20, PositiveFraction: 0.5},
+		{Samples: 10, Dim: 10, Informative: 2, PositiveFraction: 0},
+		{Samples: 10, Dim: 10, Informative: 2, PositiveFraction: 1},
+	}
+	for i, cfg := range bad {
+		if _, _, err := GenerateMicroarray(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// binaryMagic identifies the library's binary data-set files.
+const binaryMagic = 0x50334344 // "P3CD"
+
+// WriteBinary serializes the data set in a compact little-endian format:
+// magic, dim, n, then n*dim float64 values.
+func (d *Dataset) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	hdr := [3]uint64{binaryMagic, uint64(d.Dim), uint64(d.N())}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return fmt.Errorf("dataset: write header: %w", err)
+		}
+	}
+	buf := make([]byte, 8)
+	for _, v := range d.Rows {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("dataset: write values: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a data set written by WriteBinary.
+func ReadBinary(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	var hdr [3]uint64
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("dataset: read header: %w", err)
+		}
+	}
+	if hdr[0] != binaryMagic {
+		return nil, fmt.Errorf("dataset: bad magic %#x", hdr[0])
+	}
+	dim, n := int(hdr[1]), int(hdr[2])
+	if dim <= 0 || n < 0 || (n > 0 && dim > (1<<40)/n) {
+		return nil, fmt.Errorf("dataset: implausible header dim=%d n=%d", dim, n)
+	}
+	d := New(dim)
+	d.Rows = make([]float64, n*dim)
+	buf := make([]byte, 8)
+	for i := range d.Rows {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("dataset: read values: %w", err)
+		}
+		d.Rows[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	}
+	return d, d.Validate()
+}
+
+// WriteCSV writes the data set as comma-separated rows without a header.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	n := d.N()
+	for i := 0; i < n; i++ {
+		row := d.Row(i)
+		for j, v := range row {
+			if j > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses comma-separated rows. All rows must share one width; blank
+// lines are skipped.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var d *Dataset
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if d == nil {
+			d = New(len(fields))
+		} else if len(fields) != d.Dim {
+			return nil, fmt.Errorf("dataset: line %d has %d fields, want %d", lineNo, len(fields), d.Dim)
+		}
+		for _, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: %w", lineNo, err)
+			}
+			d.Rows = append(d.Rows, v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: scan: %w", err)
+	}
+	if d == nil {
+		return nil, fmt.Errorf("dataset: empty CSV input")
+	}
+	return d, d.Validate()
+}

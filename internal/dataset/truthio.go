@@ -1,0 +1,121 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteGroundTruth serializes a ground truth in the sidecar text format the
+// CLI tools exchange: a header line, one line per cluster listing relevant
+// attributes (attr:lo:hi) and member indices, and a trailing noise line.
+func WriteGroundTruth(w io.Writer, truth *GroundTruth) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# n=%d dim=%d clusters=%d\n", truth.N, truth.Dim, len(truth.Clusters))
+	for ci, tc := range truth.Clusters {
+		fmt.Fprintf(bw, "cluster %d attrs", ci)
+		for j, a := range tc.Attrs {
+			fmt.Fprintf(bw, " %d:%g:%g", a, tc.Lo[j], tc.Hi[j])
+		}
+		fmt.Fprint(bw, " members")
+		for _, m := range tc.Members {
+			fmt.Fprintf(bw, " %d", m)
+		}
+		fmt.Fprintln(bw)
+	}
+	fmt.Fprint(bw, "noise")
+	for _, m := range truth.Noise {
+		fmt.Fprintf(bw, " %d", m)
+	}
+	fmt.Fprintln(bw)
+	return bw.Flush()
+}
+
+// ReadGroundTruth parses the sidecar format written by WriteGroundTruth.
+func ReadGroundTruth(r io.Reader) (*GroundTruth, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	truth := &GroundTruth{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "#"):
+			if _, err := fmt.Sscanf(line, "# n=%d dim=%d", &truth.N, &truth.Dim); err != nil {
+				return nil, fmt.Errorf("dataset: truth line %d: bad header: %w", lineNo, err)
+			}
+		case strings.HasPrefix(line, "cluster "):
+			tc, err := parseTruthCluster(line)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: truth line %d: %w", lineNo, err)
+			}
+			truth.Clusters = append(truth.Clusters, tc)
+		case strings.HasPrefix(line, "noise"):
+			for _, tok := range strings.Fields(line)[1:] {
+				m, err := strconv.Atoi(tok)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: truth line %d: bad noise index %q", lineNo, tok)
+				}
+				truth.Noise = append(truth.Noise, m)
+			}
+		default:
+			return nil, fmt.Errorf("dataset: truth line %d: unrecognized %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: truth scan: %w", err)
+	}
+	if truth.N == 0 && truth.Dim == 0 {
+		return nil, fmt.Errorf("dataset: truth file missing header")
+	}
+	return truth, nil
+}
+
+func parseTruthCluster(line string) (*TrueCluster, error) {
+	fields := strings.Fields(line)
+	tc := &TrueCluster{}
+	mode := ""
+	for _, tok := range fields[2:] {
+		switch tok {
+		case "attrs", "members":
+			mode = tok
+			continue
+		}
+		switch mode {
+		case "attrs":
+			parts := strings.Split(tok, ":")
+			if len(parts) != 3 {
+				return nil, fmt.Errorf("bad attr token %q", tok)
+			}
+			a, err := strconv.Atoi(parts[0])
+			if err != nil {
+				return nil, fmt.Errorf("bad attr index in %q", tok)
+			}
+			lo, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad lo in %q", tok)
+			}
+			hi, err := strconv.ParseFloat(parts[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad hi in %q", tok)
+			}
+			tc.Attrs = append(tc.Attrs, a)
+			tc.Lo = append(tc.Lo, lo)
+			tc.Hi = append(tc.Hi, hi)
+		case "members":
+			m, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("bad member %q", tok)
+			}
+			tc.Members = append(tc.Members, m)
+		default:
+			return nil, fmt.Errorf("token %q before attrs/members marker", tok)
+		}
+	}
+	return tc, nil
+}

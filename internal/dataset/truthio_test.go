@@ -1,0 +1,80 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGroundTruthRoundTrip(t *testing.T) {
+	_, truth, err := Generate(GenConfig{
+		N: 500, Dim: 10, Clusters: 3, NoiseFraction: 0.1, Seed: 4, Overlap: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGroundTruth(&buf, truth); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGroundTruth(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != truth.N || got.Dim != truth.Dim {
+		t.Fatalf("header %d/%d vs %d/%d", got.N, got.Dim, truth.N, truth.Dim)
+	}
+	if len(got.Clusters) != len(truth.Clusters) {
+		t.Fatalf("clusters %d vs %d", len(got.Clusters), len(truth.Clusters))
+	}
+	for c := range truth.Clusters {
+		want, have := truth.Clusters[c], got.Clusters[c]
+		if len(want.Members) != len(have.Members) || len(want.Attrs) != len(have.Attrs) {
+			t.Fatalf("cluster %d shape mismatch", c)
+		}
+		for i := range want.Members {
+			if want.Members[i] != have.Members[i] {
+				t.Fatalf("cluster %d member %d mismatch", c, i)
+			}
+		}
+		for i := range want.Attrs {
+			if want.Attrs[i] != have.Attrs[i] || want.Lo[i] != have.Lo[i] || want.Hi[i] != have.Hi[i] {
+				t.Fatalf("cluster %d attr %d mismatch", c, i)
+			}
+		}
+	}
+	if len(got.Noise) != len(truth.Noise) {
+		t.Fatalf("noise %d vs %d", len(got.Noise), len(truth.Noise))
+	}
+}
+
+func TestReadGroundTruthErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"no header", "cluster 0 attrs 1:0:0.5 members 0\n"},
+		{"bad attr", "# n=2 dim=2 clusters=1\ncluster 0 attrs x:0:1 members 0\n"},
+		{"bad attr parts", "# n=2 dim=2 clusters=1\ncluster 0 attrs 1:0 members 0\n"},
+		{"bad member", "# n=2 dim=2 clusters=1\ncluster 0 attrs 1:0:1 members abc\n"},
+		{"bad noise", "# n=2 dim=2 clusters=0\nnoise z\n"},
+		{"stray token", "# n=2 dim=2 clusters=1\ncluster 0 17\n"},
+		{"garbage line", "# n=2 dim=2 clusters=0\nwhatever\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadGroundTruth(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestReadGroundTruthSkipsBlankLines(t *testing.T) {
+	in := "# n=3 dim=2 clusters=1\n\ncluster 0 attrs 0:0.1:0.5 members 0 2\n\nnoise 1\n"
+	got, err := ReadGroundTruth(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Clusters) != 1 || len(got.Clusters[0].Members) != 2 || len(got.Noise) != 1 {
+		t.Fatalf("parsed %+v", got)
+	}
+}

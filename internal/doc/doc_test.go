@@ -1,0 +1,119 @@
+package doc
+
+import (
+	"testing"
+
+	"p3cmr/internal/dataset"
+	"p3cmr/internal/eval"
+)
+
+func genData(t *testing.T, n, dim, k int, noise float64, seed int64) (*dataset.Dataset, *dataset.GroundTruth) {
+	t.Helper()
+	data, truth, err := dataset.Generate(dataset.GenConfig{
+		N: n, Dim: dim, Clusters: k, NoiseFraction: noise, Seed: seed, Overlap: true,
+		MinClusterDims: 3, MaxClusterDims: 5,
+		MinWidth: 0.1, MaxWidth: 0.2, // DOC's fixed box width must cover the clusters
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, truth
+}
+
+func TestParamsValidate(t *testing.T) {
+	if (Params{K: 0}).Validate() == nil {
+		t.Error("K=0 accepted")
+	}
+	if (Params{K: 2, Beta: 0.6}).Validate() == nil {
+		t.Error("Beta ≥ 0.5 accepted")
+	}
+	if (Params{K: 2, Beta: 0.25}).Validate() != nil {
+		t.Error("valid params rejected")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	p := Params{K: 1}.withDefaults(50)
+	if p.W <= 0 || p.Alpha <= 0 || p.Beta <= 0 || p.DiscrimSize < 2 || p.Trials < 512 {
+		t.Fatalf("bad defaults: %+v", p)
+	}
+}
+
+func TestRunFindsPlantedClusters(t *testing.T) {
+	data, truth := genData(t, 2000, 12, 2, 0.05, 3)
+	res, err := Run(data, Params{K: 2, W: 0.2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) == 0 {
+		t.Fatal("no clusters found")
+	}
+	var truthCs []*eval.Cluster
+	for _, tc := range truth.Clusters {
+		truthCs = append(truthCs, &eval.Cluster{Objects: tc.Members, Attrs: tc.Attrs})
+	}
+	tc, err := eval.NewSubspaceClustering(truth.N, truth.Dim, truthCs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found, err := eval.NewSubspaceClustering(data.N(), data.Dim, res.Clusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := eval.F1(found, tc)
+	t.Logf("DOC clusters=%d F1=%.3f E4SC=%.3f", len(res.Clusters), f1, eval.E4SC(found, tc))
+	if f1 < 0.5 {
+		t.Errorf("F1 = %.3f too low", f1)
+	}
+}
+
+func TestGreedyExtractionDisjoint(t *testing.T) {
+	data, _ := genData(t, 1500, 10, 3, 0.1, 7)
+	res, err := Run(data, Params{K: 3, W: 0.2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy removal ⇒ clusters are disjoint.
+	seen := map[int]bool{}
+	for _, c := range res.Clusters {
+		for _, o := range c.Objects {
+			if seen[o] {
+				t.Fatalf("point %d in two DOC clusters", o)
+			}
+			seen[o] = true
+		}
+	}
+	// Signatures correspond one-to-one with clusters and stay in range.
+	if len(res.Signatures) != len(res.Clusters) {
+		t.Fatal("signature/cluster count mismatch")
+	}
+	for _, s := range res.Signatures {
+		for _, iv := range s.Intervals {
+			if iv.Lo > iv.Hi || iv.Lo < 0 || iv.Hi > 1 {
+				t.Fatalf("bad interval %v", iv)
+			}
+		}
+	}
+}
+
+func TestRunOnTinyData(t *testing.T) {
+	data := dataset.FromRows(2, []float64{0.1, 0.1, 0.11, 0.12, 0.09, 0.1})
+	res, err := Run(data, Params{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Too few points for the discriminating set: graceful empty result.
+	if len(res.Clusters) > 1 {
+		t.Fatalf("implausible clusters on 3 points: %d", len(res.Clusters))
+	}
+}
+
+func TestQualityMonotone(t *testing.T) {
+	// More points is better; more dims is better (β < 1).
+	if quality(100, 3, 0.25) <= quality(50, 3, 0.25) {
+		t.Error("quality not monotone in points")
+	}
+	if quality(100, 4, 0.25) <= quality(100, 3, 0.25) {
+		t.Error("quality not monotone in dims")
+	}
+}

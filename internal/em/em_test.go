@@ -1,0 +1,186 @@
+package em
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"p3cmr/internal/linalg"
+	"p3cmr/internal/mr"
+)
+
+// twoBlobs generates two well-separated Gaussian blobs in 2-D, embedded in
+// a dim-dimensional space at the given attribute positions.
+func twoBlobs(n, dim int, attrs [2]int, seed int64) []*mr.Split {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]float64, 0, n*dim)
+	for i := 0; i < n; i++ {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		if i < n/2 {
+			row[attrs[0]] = 0.25 + rng.NormFloat64()*0.03
+			row[attrs[1]] = 0.25 + rng.NormFloat64()*0.03
+		} else {
+			row[attrs[0]] = 0.75 + rng.NormFloat64()*0.03
+			row[attrs[1]] = 0.75 + rng.NormFloat64()*0.03
+		}
+		rows = append(rows, row...)
+	}
+	var splits []*mr.Split
+	per := n / 4
+	for s := 0; s < 4; s++ {
+		lo, hi := s*per, (s+1)*per
+		if s == 3 {
+			hi = n
+		}
+		splits = append(splits, &mr.Split{ID: s, Offset: lo, Dim: dim, Rows: rows[lo*dim : hi*dim]})
+	}
+	return splits
+}
+
+func initialModel(attrs []int, centers [][]float64) *Model {
+	m := &Model{Attrs: attrs}
+	d := len(attrs)
+	for _, c := range centers {
+		cov := linalg.Identity(d)
+		linalg.Scale(cov, 0.05, cov)
+		m.Components = append(m.Components, &Component{
+			Weight: 1 / float64(len(centers)),
+			Mean:   append([]float64(nil), c...),
+			Cov:    cov,
+		})
+	}
+	return m
+}
+
+func TestFitMRSeparatesBlobs(t *testing.T) {
+	splits := twoBlobs(800, 6, [2]int{1, 4}, 3)
+	model := initialModel([]int{1, 4}, [][]float64{{0.4, 0.4}, {0.6, 0.6}})
+	engine := mr.Default()
+	iters, err := FitMR(engine, splits, model, FitOptions{MaxIterations: 20, Tolerance: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters == 0 {
+		t.Fatal("no iterations run")
+	}
+	// Components must land near the true centres (order may swap).
+	m0, m1 := model.Components[0].Mean, model.Components[1].Mean
+	if m0[0] > m1[0] {
+		m0, m1 = m1, m0
+	}
+	for j := 0; j < 2; j++ {
+		if math.Abs(m0[j]-0.25) > 0.02 {
+			t.Errorf("component near 0.25: mean[%d] = %g", j, m0[j])
+		}
+		if math.Abs(m1[j]-0.75) > 0.02 {
+			t.Errorf("component near 0.75: mean[%d] = %g", j, m1[j])
+		}
+	}
+	// Weights near 1/2 each.
+	w := model.Components[0].Weight
+	if math.Abs(w-0.5) > 0.05 {
+		t.Errorf("weight = %g", w)
+	}
+	// Covariance should have shrunk towards the generating sigma² = 9e-4.
+	v := model.Components[0].Cov.At(0, 0)
+	if v > 0.005 || v <= 0 {
+		t.Errorf("variance = %g", v)
+	}
+}
+
+func TestMostLikelyAssignsCorrectly(t *testing.T) {
+	model := initialModel([]int{0, 1}, [][]float64{{0.2, 0.2}, {0.8, 0.8}})
+	if err := model.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	if got := model.MostLikely([]float64{0.15, 0.25}, nil, nil); got != 0 {
+		t.Errorf("assigned %d", got)
+	}
+	if got := model.MostLikely([]float64{0.9, 0.7}, nil, nil); got != 1 {
+		t.Errorf("assigned %d", got)
+	}
+}
+
+func TestResponsibilitiesSumToOne(t *testing.T) {
+	model := initialModel([]int{0, 1}, [][]float64{{0.2, 0.2}, {0.8, 0.8}, {0.5, 0.5}})
+	if err := model.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	resp := make([]float64, 3)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		ll := model.Responsibilities(resp, x, nil, nil)
+		sum := 0.0
+		for _, r := range resp {
+			if r < 0 || r > 1 {
+				t.Fatalf("responsibility %g out of range", r)
+			}
+			sum += r
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("responsibilities sum to %g", sum)
+		}
+		if math.IsNaN(ll) {
+			t.Fatal("NaN log-likelihood")
+		}
+	}
+}
+
+func TestResponsibilitiesZeroWeights(t *testing.T) {
+	model := initialModel([]int{0}, [][]float64{{0.3}, {0.7}})
+	model.Components[0].Weight = 0
+	model.Components[1].Weight = 0
+	if err := model.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	resp := make([]float64, 2)
+	model.Responsibilities(resp, []float64{0.5}, nil, nil)
+	if math.Abs(resp[0]+resp[1]-1) > 1e-9 {
+		t.Fatal("degenerate responsibilities must still normalize")
+	}
+}
+
+func TestPrepareRegularizesSingularCovariance(t *testing.T) {
+	m := &Model{Attrs: []int{0, 1}}
+	m.Components = append(m.Components, &Component{
+		Weight: 1,
+		Mean:   []float64{0.5, 0.5},
+		Cov:    linalg.NewMatrix(2, 2), // all-zero: singular
+	})
+	if err := m.Prepare(); err != nil {
+		t.Fatalf("regularization failed: %v", err)
+	}
+	if d := m.Mahalanobis(0, []float64{0.5, 0.5}, nil, nil); d != 0 {
+		t.Errorf("distance at mean = %g", d)
+	}
+}
+
+func TestProject(t *testing.T) {
+	m := &Model{Attrs: []int{1, 3}}
+	got := m.Project(nil, []float64{9, 8, 7, 6})
+	if got[0] != 8 || got[1] != 6 {
+		t.Fatalf("projection = %v", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := initialModel([]int{0}, [][]float64{{0.5}})
+	c := m.Clone()
+	c.Components[0].Mean[0] = 99
+	c.Components[0].Cov.Set(0, 0, 99)
+	if m.Components[0].Mean[0] == 99 || m.Components[0].Cov.At(0, 0) == 99 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestFitMREmptyInput(t *testing.T) {
+	model := initialModel([]int{0}, [][]float64{{0.5}})
+	iters, err := FitMR(mr.Default(), nil, model, FitOptions{})
+	if err != nil || iters != 0 {
+		t.Fatalf("empty fit: iters=%d err=%v", iters, err)
+	}
+}

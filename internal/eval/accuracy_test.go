@@ -1,0 +1,78 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAccuracyHungarianPerfect(t *testing.T) {
+	pred := []int{0, 0, 1, 1}
+	classes := []int{7, 7, 9, 9}
+	if got := AccuracyHungarian(pred, classes); got != 1 {
+		t.Fatalf("accuracy = %g", got)
+	}
+}
+
+func TestAccuracyHungarianPunishesShattering(t *testing.T) {
+	// Six pure singleton clusters over two classes: majority accuracy is a
+	// perfect 1.0, Hungarian allows only one cluster per class.
+	pred := []int{0, 1, 2, 3, 4, 5}
+	classes := []int{0, 0, 0, 1, 1, 1}
+	maj := Accuracy(pred, classes)
+	hun := AccuracyHungarian(pred, classes)
+	if maj != 1 {
+		t.Fatalf("majority = %g", maj)
+	}
+	if math.Abs(hun-2.0/6) > 1e-12 {
+		t.Fatalf("hungarian = %g, want 1/3", hun)
+	}
+}
+
+func TestAccuracyHungarianOutliersAreErrors(t *testing.T) {
+	pred := []int{0, 0, -1, -1}
+	classes := []int{0, 0, 1, 1}
+	// Majority gives the outlier group its own majority vote.
+	if got := Accuracy(pred, classes); got != 1 {
+		t.Fatalf("majority = %g", got)
+	}
+	// Hungarian counts unassigned points as errors.
+	if got := AccuracyHungarian(pred, classes); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("hungarian = %g, want 0.5", got)
+	}
+}
+
+func TestAccuracyHungarianMoreClassesThanClusters(t *testing.T) {
+	pred := []int{0, 0, 0, 0}
+	classes := []int{0, 0, 1, 2}
+	// One cluster can match only its best class (2 points).
+	if got := AccuracyHungarian(pred, classes); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("hungarian = %g, want 0.5", got)
+	}
+}
+
+func TestAccuracyHungarianDegenerate(t *testing.T) {
+	if AccuracyHungarian(nil, nil) != 0 {
+		t.Error("empty input must be 0")
+	}
+	if AccuracyHungarian([]int{0}, []int{0, 1}) != 0 {
+		t.Error("length mismatch must be 0")
+	}
+	if AccuracyHungarian([]int{-1, -1}, []int{0, 1}) != 0 {
+		t.Error("all-outlier prediction must be 0")
+	}
+}
+
+func TestAccuracyHungarianNeverExceedsMajority(t *testing.T) {
+	cases := [][2][]int{
+		{{0, 1, 0, 1, 2}, {0, 0, 1, 1, 1}},
+		{{0, 0, 0, 1, 1}, {0, 1, 0, 1, 0}},
+		{{-1, 0, 1, 1, 2}, {1, 1, 0, 0, 1}},
+	}
+	for i, c := range cases {
+		hun := AccuracyHungarian(c[0], c[1])
+		maj := Accuracy(c[0], c[1])
+		if hun > maj+1e-12 {
+			t.Errorf("case %d: hungarian %g exceeds majority %g", i, hun, maj)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package eval implements the external quality measures used in the paper's
+// evaluation (§7.2): E4SC (the primary measure, after Günnemann et al.,
+// CIKM 2011), the classic object-based F1, RNIA and CE (after Patrikainen &
+// Meilă), and classification accuracy for the colon-cancer experiment
+// (§7.6). All measures are reported as qualities in [0,1], 1 being perfect.
+package eval
+
+import "math"
+
+// Hungarian solves the assignment problem: given an n×m cost matrix, it
+// returns an assignment minimizing total cost, as a slice rowAssign with
+// rowAssign[i] = assigned column (or -1 when n > m leaves row i unmatched).
+// The classic O(max(n,m)³) potentials algorithm is used on an internally
+// squared matrix.
+func Hungarian(cost [][]float64) []int {
+	n := len(cost)
+	if n == 0 {
+		return nil
+	}
+	m := len(cost[0])
+	size := n
+	if m > size {
+		size = m
+	}
+	// Pad to square with zeros (free dummy assignments).
+	a := make([][]float64, size+1)
+	for i := range a {
+		a[i] = make([]float64, size+1)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			a[i+1][j+1] = cost[i][j]
+		}
+	}
+
+	u := make([]float64, size+1)
+	v := make([]float64, size+1)
+	p := make([]int, size+1) // p[j] = row matched to column j
+	way := make([]int, size+1)
+	for i := 1; i <= size; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, size+1)
+		used := make([]bool, size+1)
+		for j := range minv {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := 0
+			for j := 1; j <= size; j++ {
+				if used[j] {
+					continue
+				}
+				cur := a[i0][j] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= size; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	rowAssign := make([]int, n)
+	for i := range rowAssign {
+		rowAssign[i] = -1
+	}
+	for j := 1; j <= size; j++ {
+		i := p[j]
+		if i >= 1 && i <= n && j <= m {
+			rowAssign[i-1] = j - 1
+		}
+	}
+	return rowAssign
+}
+
+// MaxWeightAssignment maximizes total weight instead of minimizing cost.
+func MaxWeightAssignment(weight [][]float64) []int {
+	n := len(weight)
+	if n == 0 {
+		return nil
+	}
+	m := len(weight[0])
+	maxW := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			if weight[i][j] > maxW {
+				maxW = weight[i][j]
+			}
+		}
+	}
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, m)
+		for j := range cost[i] {
+			cost[i][j] = maxW - weight[i][j]
+		}
+	}
+	return Hungarian(cost)
+}

@@ -1,0 +1,140 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func assignmentCost(cost [][]float64, assign []int) float64 {
+	s := 0.0
+	for i, j := range assign {
+		if j >= 0 {
+			s += cost[i][j]
+		}
+	}
+	return s
+}
+
+// bruteForceMin finds the optimal assignment by permutation enumeration
+// (for small square matrices).
+func bruteForceMin(cost [][]float64) float64 {
+	n := len(cost)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := math.Inf(1)
+	var recurse func(k int)
+	recurse = func(k int) {
+		if k == n {
+			s := 0.0
+			for i, j := range perm {
+				s += cost[i][j]
+			}
+			if s < best {
+				best = s
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			recurse(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	recurse(0)
+	return best
+}
+
+func TestHungarianKnownCase(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	assign := Hungarian(cost)
+	if got := assignmentCost(cost, assign); got != 5 { // 1 + 2 + 2
+		t.Fatalf("cost = %g, want 5 (assignment %v)", got, assign)
+	}
+}
+
+func TestHungarianMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = float64(rng.Intn(50))
+			}
+		}
+		assign := Hungarian(cost)
+		// Validity: a permutation.
+		seen := make(map[int]bool)
+		for _, j := range assign {
+			if j < 0 || j >= n || seen[j] {
+				return false
+			}
+			seen[j] = true
+		}
+		return math.Abs(assignmentCost(cost, assign)-bruteForceMin(cost)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHungarianRectangular(t *testing.T) {
+	// More rows than columns: one row stays unmatched.
+	cost := [][]float64{
+		{1, 9},
+		{9, 1},
+		{5, 5},
+	}
+	assign := Hungarian(cost)
+	matched := 0
+	for _, j := range assign {
+		if j >= 0 {
+			matched++
+		}
+	}
+	if matched != 2 {
+		t.Fatalf("matched %d of 2 columns (assign %v)", matched, assign)
+	}
+	if got := assignmentCost(cost, assign); got != 2 {
+		t.Fatalf("cost = %g, want 2", got)
+	}
+	// More columns than rows.
+	cost2 := [][]float64{{3, 1, 2}}
+	assign2 := Hungarian(cost2)
+	if assign2[0] != 1 {
+		t.Fatalf("assign = %v, want column 1", assign2)
+	}
+}
+
+func TestHungarianEmpty(t *testing.T) {
+	if got := Hungarian(nil); got != nil {
+		t.Fatal("empty input must yield nil")
+	}
+}
+
+func TestMaxWeightAssignment(t *testing.T) {
+	weight := [][]float64{
+		{10, 1},
+		{1, 10},
+	}
+	assign := MaxWeightAssignment(weight)
+	if assign[0] != 0 || assign[1] != 1 {
+		t.Fatalf("assign = %v", assign)
+	}
+	total := 0.0
+	for i, j := range assign {
+		total += weight[i][j]
+	}
+	if total != 20 {
+		t.Fatalf("weight = %g", total)
+	}
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"p3cmr/internal/stats"
+)
+
+// Fig1Row is one point of Figure 1: the probability that the Poisson test
+// flags a 1% over-population as significant, as a function of the expected
+// population µ.
+type Fig1Row struct {
+	Mu          float64
+	Probability float64
+}
+
+// Figure1 reproduces Figure 1 analytically. The paper's argument (§4.1.2):
+// with a constant *relative* deviation — a hyperrectangle holding 101%·µ
+// objects — the power of the fixed-level Poisson significance test grows
+// with the data size, approaching 100%: the critical value sits z_α·√µ
+// above µ while the alternative sits 0.01·µ above it, and 0.01·µ outgrows
+// √µ. Each row reports P(X ≥ critical_α(µ)) for X ~ Poisson(1.01·µ) at
+// α = 0.01 (the paper's αpoi).
+func Figure1(mus []float64) []Fig1Row {
+	if len(mus) == 0 {
+		mus = []float64{100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 75000, 100000, 250000, 1000000}
+	}
+	const alpha = 0.01
+	z := stats.SigmaThreshold(alpha)
+	rows := make([]Fig1Row, 0, len(mus))
+	for _, mu := range mus {
+		critical := mu + z*math.Sqrt(mu)
+		k := int(math.Ceil(critical))
+		power := stats.PoissonSF(k, 1.01*mu)
+		rows = append(rows, Fig1Row{Mu: mu, Probability: power})
+	}
+	return rows
+}
+
+// RenderFigure1 prints the series.
+func RenderFigure1(w io.Writer, rows []Fig1Row) {
+	rule(w, "Figure 1: power of the Poisson test at a 1% over-population (alpha=0.01)")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "mu (avg objects)\tP(test flags 1.01*mu)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.0f\t%.4f\n", r.Mu, r.Probability)
+	}
+	tw.Flush()
+}

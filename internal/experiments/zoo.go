@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"p3cmr/internal/core"
+	"p3cmr/internal/dataset"
+	"p3cmr/internal/doc"
+	"p3cmr/internal/eval"
+	"p3cmr/internal/mr"
+	"p3cmr/internal/outlier"
+	"p3cmr/internal/proclus"
+)
+
+// ZooRow is one contender in the related-work comparison: the §2 baselines
+// (PROCLUS, DOC) against the P3C family, all four quality measures.
+type ZooRow struct {
+	Name     string
+	Clusters int
+	E4SC     float64
+	F1       float64
+	RNIA     float64
+	CE       float64
+}
+
+// Zoo runs every algorithm in the library on one data set — the
+// quantitative version of the paper's §2 qualitative comparison. PROCLUS
+// and DOC receive the true cluster count (they cannot determine it
+// themselves, one of §2's criticisms); the P3C family does not.
+func Zoo(scale Scale) ([]ZooRow, error) {
+	scale = scale.withDefaults()
+	n := scale.Sizes[len(scale.Sizes)-1]
+	const clusters = 4
+	data, truth, err := dataset.Generate(dataset.GenConfig{
+		N: n, Dim: scale.Dim, Clusters: clusters, NoiseFraction: 0.10,
+		Seed: scale.Seed, Overlap: true,
+		MinClusterDims: 3, MaxClusterDims: 5,
+		MinWidth: 0.1, MaxWidth: 0.2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tc, err := truthClustering(truth)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []ZooRow
+	add := func(name string, found *eval.SubspaceClustering) {
+		rows = append(rows, ZooRow{
+			Name:     name,
+			Clusters: len(found.Clusters),
+			E4SC:     eval.E4SC(found, tc),
+			F1:       eval.F1(found, tc),
+			RNIA:     eval.RNIA(found, tc),
+			CE:       eval.CE(found, tc),
+		})
+	}
+
+	runCore := func(name string, params core.Params) error {
+		res, err := core.Run(mr.Default(), data, params)
+		if err != nil {
+			return fmt.Errorf("zoo %s: %w", name, err)
+		}
+		found, err := res.Evaluation(data.N(), data.Dim)
+		if err != nil {
+			return err
+		}
+		add(name, found)
+		return nil
+	}
+	if err := runCore("P3C (original)", core.OriginalP3CParams()); err != nil {
+		return nil, err
+	}
+	if err := runCore("P3C+-MR (MVB)", core.NewParams()); err != nil {
+		return nil, err
+	}
+	mve := core.NewParams()
+	mve.OutlierMethod = outlier.MVE
+	if err := runCore("P3C+-MR (MVE)", mve); err != nil {
+		return nil, err
+	}
+	if err := runCore("P3C+-MR-Light", core.LightParams()); err != nil {
+		return nil, err
+	}
+
+	pres, err := proclus.Run(data, proclus.Params{K: clusters, L: 4, Seed: scale.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("zoo PROCLUS: %w", err)
+	}
+	found, err := eval.NewSubspaceClustering(data.N(), data.Dim, pres.Clusters)
+	if err != nil {
+		return nil, err
+	}
+	add("PROCLUS (true k)", found)
+
+	dres, err := doc.Run(data, doc.Params{K: clusters, W: 0.2, Seed: scale.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("zoo DOC: %w", err)
+	}
+	found, err = eval.NewSubspaceClustering(data.N(), data.Dim, dres.Clusters)
+	if err != nil {
+		return nil, err
+	}
+	add("DOC (true k)", found)
+	return rows, nil
+}
+
+// RenderZoo prints the comparison table.
+func RenderZoo(w io.Writer, rows []ZooRow) {
+	rule(w, "Related-work comparison (§2): all algorithms, all measures")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "algorithm\tclusters\tE4SC\tF1\tRNIA\tCE")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.3f\t%.3f\t%.3f\n",
+			r.Name, r.Clusters, r.E4SC, r.F1, r.RNIA, r.CE)
+	}
+	tw.Flush()
+}

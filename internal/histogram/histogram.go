@@ -1,0 +1,168 @@
+// Package histogram implements the fixed-bin 1-D histograms on the
+// normalized [0,1] data space that P3C builds per attribute, together with
+// the iterative chi-square relevant-bin marking procedure and the merging of
+// adjacent marked bins into candidate intervals (paper §3.2.2, §5.1).
+package histogram
+
+import (
+	"fmt"
+
+	"p3cmr/internal/stats"
+)
+
+// Histogram is a fixed-width histogram over [0,1].
+type Histogram struct {
+	Bins   int
+	Counts []int64
+}
+
+// New returns an empty histogram with the given bin count.
+func New(bins int) *Histogram {
+	if bins <= 0 {
+		panic("histogram: bin count must be positive")
+	}
+	return &Histogram{Bins: bins, Counts: make([]int64, bins)}
+}
+
+// BinIndex maps x ∈ [0,1] to its 0-based bin, matching the paper's
+// max(1, ⌈m·x⌉) convention (Eq. 8) shifted to 0-based indexing. Values
+// outside [0,1] are clamped.
+func BinIndex(x float64, bins int) int {
+	// ⌈m·x⌉ without float ceil quirks: bin b covers ((b-1)/m, b/m], with
+	// bin 1 additionally covering 0.
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return bins - 1
+	}
+	b := int(x * float64(bins))
+	// x*bins on a right-closed boundary must fall to the lower bin.
+	if float64(b) == x*float64(bins) && b > 0 {
+		b--
+	}
+	if b >= bins {
+		b = bins - 1
+	}
+	return b
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.Counts[BinIndex(x, h.Bins)]++
+}
+
+// AddCount adds c observations to bin b (used when merging partial
+// histograms from MapReduce).
+func (h *Histogram) AddCount(b int, c int64) {
+	h.Counts[b] += c
+}
+
+// Merge accumulates other into h. Bin counts must match.
+func (h *Histogram) Merge(other *Histogram) error {
+	if other.Bins != h.Bins {
+		return fmt.Errorf("histogram: merging %d bins into %d", other.Bins, h.Bins)
+	}
+	for i, c := range other.Counts {
+		h.Counts[i] += c
+	}
+	return nil
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int64 {
+	var n int64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// BinBounds returns the [lo,hi] range of bin b.
+func (h *Histogram) BinBounds(b int) (lo, hi float64) {
+	w := 1 / float64(h.Bins)
+	return float64(b) * w, float64(b+1) * w
+}
+
+// MarkRelevantBins runs the P3C relevant-bin detection: while the not-yet-
+// marked bins fail the chi-square uniformity test at level alpha, mark the
+// highest-support unmarked bin. It returns the marked-bin flags (all false
+// when the attribute is uniform).
+func (h *Histogram) MarkRelevantBins(alpha float64) []bool {
+	marked := make([]bool, h.Bins)
+	remaining := append([]int64(nil), h.Counts...)
+	active := h.Bins
+	for active >= 2 {
+		if stats.IsUniform(compact(remaining, marked), alpha) {
+			break
+		}
+		// Mark the unmarked bin with the highest support.
+		best, bestCount := -1, int64(-1)
+		for i, c := range remaining {
+			if !marked[i] && c > bestCount {
+				best, bestCount = i, c
+			}
+		}
+		if best < 0 {
+			break
+		}
+		marked[best] = true
+		active--
+	}
+	return marked
+}
+
+// compact gathers the counts of unmarked bins.
+func compact(counts []int64, marked []bool) []int64 {
+	out := make([]int64, 0, len(counts))
+	for i, c := range counts {
+		if !marked[i] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Interval1D is a candidate interval on one attribute produced by merging
+// adjacent marked bins.
+type Interval1D struct {
+	Lo, Hi  float64
+	Support int64
+}
+
+// Width returns hi − lo.
+func (iv Interval1D) Width() float64 { return iv.Hi - iv.Lo }
+
+// MergeMarkedBins merges runs of adjacent marked bins into intervals,
+// accumulating their supports.
+func (h *Histogram) MergeMarkedBins(marked []bool) []Interval1D {
+	if len(marked) != h.Bins {
+		panic("histogram: marked flags length mismatch")
+	}
+	var out []Interval1D
+	i := 0
+	for i < h.Bins {
+		if !marked[i] {
+			i++
+			continue
+		}
+		j := i
+		var supp int64
+		for j < h.Bins && marked[j] {
+			supp += h.Counts[j]
+			j++
+		}
+		lo, _ := h.BinBounds(i)
+		_, hi := h.BinBounds(j - 1)
+		out = append(out, Interval1D{Lo: lo, Hi: hi, Support: supp})
+		i = j
+	}
+	return out
+}
+
+// RelevantIntervals is the full §5.2 procedure: mark relevant bins at level
+// alpha and merge adjacent marked bins. Empty result means the attribute is
+// uniformly distributed.
+func (h *Histogram) RelevantIntervals(alpha float64) []Interval1D {
+	return h.MergeMarkedBins(h.MarkRelevantBins(alpha))
+}

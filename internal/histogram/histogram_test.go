@@ -1,0 +1,232 @@
+package histogram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinIndexBoundaries(t *testing.T) {
+	const bins = 10
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{0, 0},
+		{0.05, 0},
+		{0.1, 0}, // right-closed boundary falls to the lower bin
+		{0.1000001, 1},
+		{0.95, 9},
+		{1, 9},
+		{-0.5, 0}, // clamped
+		{1.5, 9},  // clamped
+	}
+	for _, c := range cases {
+		if got := BinIndex(c.x, bins); got != c.want {
+			t.Errorf("BinIndex(%g,%d) = %d, want %d", c.x, bins, got, c.want)
+		}
+	}
+}
+
+func TestBinIndexAlwaysInRange(t *testing.T) {
+	f := func(x float64, b uint8) bool {
+		bins := int(b%60) + 1
+		idx := BinIndex(x, bins)
+		return idx >= 0 && idx < bins
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinIndexMatchesPaperFormula(t *testing.T) {
+	// The paper's Eq. 8 uses max(1, ⌈m·x⌉), 1-based. Check agreement on a
+	// grid away from representation corner cases.
+	const m = 16
+	for i := 0; i <= 1000; i++ {
+		x := float64(i) / 1000
+		got := BinIndex(x, m) + 1
+		want := int(ceil(float64(m) * x))
+		if want < 1 {
+			want = 1
+		}
+		if want > m {
+			want = m
+		}
+		if got != want {
+			t.Fatalf("x=%g: got bin %d, paper formula %d", x, got, want)
+		}
+	}
+}
+
+func ceil(x float64) float64 {
+	i := float64(int64(x))
+	if x > i {
+		return i + 1
+	}
+	return i
+}
+
+func TestHistogramTotalAndMerge(t *testing.T) {
+	h1 := New(8)
+	h2 := New(8)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		h1.Add(rng.Float64())
+		h2.Add(rng.Float64())
+	}
+	if h1.Total() != 500 {
+		t.Fatalf("total = %d", h1.Total())
+	}
+	if err := h1.Merge(h2); err != nil {
+		t.Fatal(err)
+	}
+	if h1.Total() != 1000 {
+		t.Fatalf("merged total = %d", h1.Total())
+	}
+	if err := h1.Merge(New(9)); err == nil {
+		t.Fatal("merging mismatched bins must fail")
+	}
+}
+
+func TestBinBounds(t *testing.T) {
+	h := New(4)
+	lo, hi := h.BinBounds(1)
+	if lo != 0.25 || hi != 0.5 {
+		t.Fatalf("bounds = [%g,%g]", lo, hi)
+	}
+}
+
+func TestMarkRelevantBinsUniform(t *testing.T) {
+	h := New(10)
+	for i := range h.Counts {
+		h.Counts[i] = 100
+	}
+	marked := h.MarkRelevantBins(0.001)
+	for _, m := range marked {
+		if m {
+			t.Fatal("uniform histogram must have no marked bins")
+		}
+	}
+	if ivs := h.RelevantIntervals(0.001); len(ivs) != 0 {
+		t.Fatalf("uniform histogram yielded %d intervals", len(ivs))
+	}
+}
+
+func TestMarkRelevantBinsSinglePeak(t *testing.T) {
+	h := New(10)
+	for i := range h.Counts {
+		h.Counts[i] = 100
+	}
+	h.Counts[4] = 1500
+	marked := h.MarkRelevantBins(0.001)
+	if !marked[4] {
+		t.Fatal("peak bin not marked")
+	}
+	for i, m := range marked {
+		if i != 4 && m {
+			t.Errorf("bin %d spuriously marked", i)
+		}
+	}
+}
+
+func TestMergeMarkedBinsAdjacent(t *testing.T) {
+	h := New(10)
+	for i := range h.Counts {
+		h.Counts[i] = 10
+	}
+	h.Counts[3] = 500
+	h.Counts[4] = 600
+	h.Counts[8] = 400
+	marked := []bool{false, false, false, true, true, false, false, false, true, false}
+	ivs := h.MergeMarkedBins(marked)
+	if len(ivs) != 2 {
+		t.Fatalf("got %d intervals, want 2", len(ivs))
+	}
+	approx := func(a, b float64) bool { d := a - b; return d < 1e-12 && d > -1e-12 }
+	if !approx(ivs[0].Lo, 0.3) || !approx(ivs[0].Hi, 0.5) || ivs[0].Support != 1100 {
+		t.Errorf("first interval = %+v", ivs[0])
+	}
+	if !approx(ivs[1].Lo, 0.8) || !approx(ivs[1].Hi, 0.9) || ivs[1].Support != 400 {
+		t.Errorf("second interval = %+v", ivs[1])
+	}
+	if !approx(ivs[0].Width(), 0.2) {
+		t.Errorf("width = %g", ivs[0].Width())
+	}
+}
+
+func TestRelevantIntervalsGaussianBump(t *testing.T) {
+	// Uniform background plus a Gaussian cluster on [0.4, 0.6] — the
+	// canonical relevant-interval shape of the paper's generator.
+	rng := rand.New(rand.NewSource(7))
+	h := New(20)
+	for i := 0; i < 20000; i++ {
+		h.Add(rng.Float64())
+	}
+	for i := 0; i < 8000; i++ {
+		x := 0.5 + rng.NormFloat64()*0.05
+		if x < 0.4 {
+			x = 0.4
+		}
+		if x > 0.6 {
+			x = 0.6
+		}
+		h.Add(x)
+	}
+	ivs := h.RelevantIntervals(0.001)
+	if len(ivs) == 0 {
+		t.Fatal("no interval found for a clear bump")
+	}
+	// The dominant interval must cover the bump centre.
+	var best Interval1D
+	for _, iv := range ivs {
+		if iv.Support > best.Support {
+			best = iv
+		}
+	}
+	if best.Lo > 0.45 || best.Hi < 0.55 {
+		t.Errorf("interval [%g,%g] misses the bump centre", best.Lo, best.Hi)
+	}
+}
+
+func TestAddCount(t *testing.T) {
+	h := New(4)
+	h.AddCount(2, 7)
+	if h.Counts[2] != 7 || h.Total() != 7 {
+		t.Fatal("AddCount wrong")
+	}
+}
+
+func TestMergeMarkedBinsPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(4).MergeMarkedBins([]bool{true})
+}
+
+// TestHistogramSupportInvariant: the summed interval supports never exceed
+// the histogram total (property over random inputs).
+func TestHistogramSupportInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := New(2 + rng.Intn(30))
+		n := 100 + rng.Intn(2000)
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.3 {
+				h.Add(0.5 + rng.NormFloat64()*0.05)
+			} else {
+				h.Add(rng.Float64())
+			}
+		}
+		var sum int64
+		for _, iv := range h.RelevantIntervals(0.01) {
+			sum += iv.Support
+		}
+		return sum <= h.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,95 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSPD(b *testing.B, n int) *Matrix {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	return randomSPD(rng, n)
+}
+
+func BenchmarkCholeskyDecompose(b *testing.B) {
+	for _, n := range []int{4, 16, 50} {
+		a := benchSPD(b, n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := CholeskyDecompose(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMahalanobisSq(b *testing.B) {
+	for _, n := range []int{4, 16, 50} {
+		a := benchSPD(b, n)
+		ch, err := CholeskyDecompose(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		x := make([]float64, n)
+		mu := make([]float64, n)
+		rng := rand.New(rand.NewSource(2))
+		for i := range x {
+			x[i] = rng.Float64()
+			mu[i] = rng.Float64()
+		}
+		diff := make([]float64, n)
+		solve := make([]float64, n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MahalanobisSq(x, mu, ch, diff, solve)
+			}
+		})
+	}
+}
+
+func BenchmarkCovariance(b *testing.B) {
+	const n, d = 1000, 16
+	rng := rand.New(rand.NewSource(3))
+	rows := make([]float64, n*d)
+	for i := range rows {
+		rows[i] = rng.Float64()
+	}
+	mu := Mean(rows, d)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Covariance(rows, d, mu)
+	}
+}
+
+func BenchmarkLUSolve(b *testing.B) {
+	a := benchSPD(b, 16)
+	lu, err := LUDecompose(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := make([]float64, 16)
+	for i := range rhs {
+		rhs[i] = float64(i)
+	}
+	dst := make([]float64, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lu.Solve(dst, rhs)
+	}
+}
+
+func sizeName(n int) string {
+	switch n {
+	case 4:
+		return "d=4"
+	case 16:
+		return "d=16"
+	default:
+		return "d=50"
+	}
+}

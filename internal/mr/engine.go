@@ -1,0 +1,414 @@
+package mr
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Config tunes an Engine.
+type Config struct {
+	// Parallelism caps concurrently running task goroutines. Zero means
+	// runtime.NumCPU().
+	Parallelism int
+	// NumReducers is the default reducer count for jobs that leave theirs
+	// zero. The paper's cluster ran 112 reducers; locally this only affects
+	// the cost model and partitioning, not correctness.
+	NumReducers int
+	// MaxAttempts is the per-task retry budget (Hadoop default 4). Zero
+	// means 4.
+	MaxAttempts int
+	// FailureRate injects a probability in [0,1) that any task attempt
+	// fails before producing output, to exercise retry semantics. The
+	// failures are pseudo-random but deterministic per (job, task, attempt).
+	FailureRate float64
+	// FailureSeed seeds the failure injection.
+	FailureSeed int64
+	// Cost configures the simulated cluster cost model. Zero value disables
+	// simulation (SimulatedSeconds stays 0).
+	Cost CostModel
+}
+
+// Engine executes Jobs. It is safe for concurrent use by multiple
+// goroutines; each Run is independent.
+type Engine struct {
+	cfg Config
+	// TotalSimulated accumulates simulated seconds across all jobs run on
+	// this engine, so a pipeline can report an end-to-end modeled runtime.
+	mu             sync.Mutex
+	totalSimulated float64
+	jobsRun        int
+	totals         Counters
+	perJob         map[string]*JobStats
+}
+
+// JobStats accumulates per-job-name statistics across an engine's lifetime
+// — the observability a Hadoop job tracker would provide.
+type JobStats struct {
+	// Runs counts executions of jobs with this name.
+	Runs int
+	// Counters accumulates across the runs.
+	Counters Counters
+	// SimulatedSeconds accumulates modeled cost.
+	SimulatedSeconds float64
+}
+
+// NewEngine returns an engine with the given configuration.
+func NewEngine(cfg Config) *Engine {
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = runtime.NumCPU()
+	}
+	if cfg.NumReducers <= 0 {
+		cfg.NumReducers = 1
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	return &Engine{cfg: cfg}
+}
+
+// Default returns an engine with library defaults, suitable for tests and
+// examples.
+func Default() *Engine { return NewEngine(Config{}) }
+
+// Cost returns the engine's configured cost model.
+func (e *Engine) Cost() CostModel { return e.cfg.Cost }
+
+// TotalSimulatedSeconds reports the accumulated modeled runtime of all jobs
+// run so far.
+func (e *Engine) TotalSimulatedSeconds() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.totalSimulated
+}
+
+// JobsRun reports how many jobs this engine executed.
+func (e *Engine) JobsRun() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.jobsRun
+}
+
+// TotalCounters returns counters accumulated across all jobs.
+func (e *Engine) TotalCounters() Counters {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.totals
+}
+
+// ResetAccounting zeroes the accumulated simulated time, job count and
+// counters.
+func (e *Engine) ResetAccounting() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.totalSimulated = 0
+	e.jobsRun = 0
+	e.totals = Counters{}
+	e.perJob = nil
+}
+
+// errInjectedFailure marks fault-injection failures so the retry loop can
+// distinguish them from real mapper errors (which are not retried: a
+// deterministic bug would fail every attempt anyway, and surfacing it fast
+// keeps tests honest).
+var errInjectedFailure = errors.New("mr: injected task failure")
+
+// Run executes the job and collects its output.
+func (e *Engine) Run(job *Job) (*Output, error) {
+	if job.Mapper == nil && job.NewMapper == nil {
+		return nil, fmt.Errorf("mr: job %q has no mapper", job.Name)
+	}
+	numReducers := job.NumReducers
+	if numReducers <= 0 {
+		numReducers = e.cfg.NumReducers
+	}
+	mapOnly := job.Reducer == nil
+
+	var (
+		mu       sync.Mutex
+		counters Counters
+		// buckets[r] collects shuffle pairs destined for reducer r; for
+		// map-only jobs bucket 0 collects the job output directly.
+		buckets [][]Pair
+	)
+	nb := numReducers
+	if mapOnly {
+		nb = 1
+	}
+	buckets = make([][]Pair, nb)
+
+	// --- Map phase -----------------------------------------------------------
+	sem := make(chan struct{}, e.cfg.Parallelism)
+	var wg sync.WaitGroup
+	var firstErr error
+	var errOnce sync.Once
+	setErr := func(err error) { errOnce.Do(func() { firstErr = err }) }
+
+	for _, split := range job.Splits {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(split *Split) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out, c, err := e.runMapTask(job, split, mapOnly, numReducers)
+			if err != nil {
+				setErr(fmt.Errorf("mr: job %q map task %d: %w", job.Name, split.ID, err))
+				return
+			}
+			mu.Lock()
+			counters.Add(c)
+			for r, pairs := range out {
+				buckets[r] = append(buckets[r], pairs...)
+			}
+			mu.Unlock()
+		}(split)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	var outPairs []Pair
+	if mapOnly {
+		outPairs = buckets[0]
+		counters.OutputRecords = int64(len(outPairs))
+	} else {
+		// --- Shuffle + reduce phase ------------------------------------------
+		var rmu sync.Mutex
+		var rwg sync.WaitGroup
+		for r := 0; r < numReducers; r++ {
+			if len(buckets[r]) == 0 {
+				continue
+			}
+			rwg.Add(1)
+			sem <- struct{}{}
+			go func(r int, pairs []Pair) {
+				defer rwg.Done()
+				defer func() { <-sem }()
+				pout, c, err := e.runReduceTask(job, r, pairs)
+				if err != nil {
+					setErr(fmt.Errorf("mr: job %q reduce task %d: %w", job.Name, r, err))
+					return
+				}
+				rmu.Lock()
+				counters.Add(c)
+				outPairs = append(outPairs, pout...)
+				rmu.Unlock()
+			}(r, buckets[r])
+		}
+		rwg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		counters.OutputRecords = int64(len(outPairs))
+	}
+
+	out := &Output{Pairs: outPairs, Counters: counters}
+	out.SimulatedSeconds = e.cfg.Cost.jobSeconds(job, counters, numReducers)
+	e.mu.Lock()
+	e.totalSimulated += out.SimulatedSeconds
+	e.jobsRun++
+	e.totals.Add(counters)
+	if e.perJob == nil {
+		e.perJob = make(map[string]*JobStats)
+	}
+	js := e.perJob[job.Name]
+	if js == nil {
+		js = &JobStats{}
+		e.perJob[job.Name] = js
+	}
+	js.Runs++
+	js.Counters.Add(counters)
+	js.SimulatedSeconds += out.SimulatedSeconds
+	e.mu.Unlock()
+	return out, nil
+}
+
+// JobStatsByName returns a copy of the per-job-name statistics accumulated
+// so far, keyed by Job.Name.
+func (e *Engine) JobStatsByName() map[string]JobStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string]JobStats, len(e.perJob))
+	for name, js := range e.perJob {
+		out[name] = *js
+	}
+	return out
+}
+
+// runMapTask executes one map task with retry on injected failures.
+func (e *Engine) runMapTask(job *Job, split *Split, mapOnly bool, numReducers int) ([][]Pair, Counters, error) {
+	var lastErr error
+	var retries int64
+	for attempt := 0; attempt < e.cfg.MaxAttempts; attempt++ {
+		out, c, err := e.tryMapTask(job, split, mapOnly, numReducers, attempt)
+		if err == nil {
+			c.TaskRetries = retries
+			return out, c, nil
+		}
+		lastErr = err
+		if !errors.Is(err, errInjectedFailure) {
+			return nil, Counters{}, err
+		}
+		retries++
+	}
+	return nil, Counters{}, fmt.Errorf("task failed after %d attempts: %w", e.cfg.MaxAttempts, lastErr)
+}
+
+func (e *Engine) tryMapTask(job *Job, split *Split, mapOnly bool, numReducers, attempt int) ([][]Pair, Counters, error) {
+	var c Counters
+	nb := numReducers
+	if mapOnly {
+		nb = 1
+	}
+	out := make([][]Pair, nb)
+	failAt := -1
+	if e.cfg.FailureRate > 0 {
+		rng := rand.New(rand.NewSource(e.cfg.FailureSeed ^ int64(split.ID)<<20 ^ int64(attempt)))
+		if rng.Float64() < e.cfg.FailureRate {
+			// Fail midway through the split to exercise partial-output discard.
+			failAt = rng.Intn(split.NumRows() + 1)
+		}
+	}
+
+	mapper := job.Mapper
+	if job.NewMapper != nil {
+		mapper = job.NewMapper()
+	}
+	ctx := &TaskContext{
+		JobName: job.Name,
+		TaskID:  split.ID,
+		Split:   split,
+		cache:   job.Cache,
+		emit: func(p Pair) {
+			c.MapOutputRecords++
+			if mapOnly {
+				out[0] = append(out[0], p)
+			} else {
+				out[partition(p.Key, numReducers)] = append(out[partition(p.Key, numReducers)], p)
+			}
+		},
+	}
+	if err := mapper.Setup(ctx); err != nil {
+		return nil, c, err
+	}
+	n := split.NumRows()
+	for i := 0; i < n; i++ {
+		if i == failAt {
+			return nil, c, errInjectedFailure
+		}
+		c.MapInputRecords++
+		if err := mapper.Map(ctx, split.Offset+i, split.Row(i)); err != nil {
+			return nil, c, err
+		}
+	}
+	if n == failAt {
+		return nil, c, errInjectedFailure
+	}
+	if err := mapper.Cleanup(ctx); err != nil {
+		return nil, c, err
+	}
+
+	if job.Combiner != nil && !mapOnly {
+		for r := range out {
+			combined, err := combineBucket(job.Combiner, out[r], &c)
+			if err != nil {
+				return nil, c, err
+			}
+			out[r] = combined
+		}
+	}
+	for r := range out {
+		for _, p := range out[r] {
+			c.ShuffledBytes += int64(len(p.Key)) + approxValueBytes(p.Value)
+		}
+	}
+	return out, c, nil
+}
+
+func combineBucket(cb Combiner, pairs []Pair, c *Counters) ([]Pair, error) {
+	if len(pairs) == 0 {
+		return pairs, nil
+	}
+	grouped := make(map[string][]any)
+	order := make([]string, 0, 8)
+	for _, p := range pairs {
+		if _, ok := grouped[p.Key]; !ok {
+			order = append(order, p.Key)
+		}
+		grouped[p.Key] = append(grouped[p.Key], p.Value)
+		c.CombineInput++
+	}
+	var out []Pair
+	for _, k := range order {
+		vs, err := cb.Combine(k, grouped[k])
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range vs {
+			out = append(out, Pair{Key: k, Value: v})
+			c.CombineOutput++
+		}
+	}
+	return out, nil
+}
+
+// runReduceTask groups a partition's pairs by key (sorted, as Hadoop
+// guarantees) and invokes the reducer.
+func (e *Engine) runReduceTask(job *Job, taskID int, pairs []Pair) ([]Pair, Counters, error) {
+	var c Counters
+	grouped := make(map[string][]any)
+	for _, p := range pairs {
+		grouped[p.Key] = append(grouped[p.Key], p.Value)
+	}
+	keys := make([]string, 0, len(grouped))
+	for k := range grouped {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var out []Pair
+	ctx := &TaskContext{
+		JobName: job.Name,
+		TaskID:  taskID,
+		cache:   job.Cache,
+		emit:    func(p Pair) { out = append(out, p) },
+	}
+	for _, k := range keys {
+		c.ReduceInputKeys++
+		c.ReduceInputVals += int64(len(grouped[k]))
+		if err := job.Reducer.Reduce(ctx, k, grouped[k]); err != nil {
+			return nil, c, err
+		}
+	}
+	return out, c, nil
+}
+
+// approxValueBytes estimates the serialized size of a shuffle value for the
+// I/O accounting. It understands the value types the pipeline actually
+// ships; anything else is charged a flat 16 bytes.
+func approxValueBytes(v any) int64 {
+	switch x := v.(type) {
+	case nil:
+		return 0
+	case int:
+		return 8
+	case int64:
+		return 8
+	case float64:
+		return 8
+	case []float64:
+		return int64(8 * len(x))
+	case []int64:
+		return int64(8 * len(x))
+	case []uint64:
+		return int64(8 * len(x))
+	case string:
+		return int64(len(x))
+	default:
+		return 16
+	}
+}

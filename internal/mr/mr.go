@@ -1,0 +1,237 @@
+// Package mr is a from-scratch, in-process MapReduce engine with Hadoop-like
+// semantics: input splits, record-at-a-time mappers with setup/cleanup
+// hooks, an optional combiner, hash partitioning, per-key grouping, and
+// reducers. It exists because the reproduced paper (P3C+-MR, EDBT 2014)
+// expresses every phase of its clustering pipeline as MapReduce jobs; this
+// engine runs those jobs with real goroutine parallelism on one machine.
+//
+// Beyond execution, the engine keeps the bookkeeping a cluster would:
+//   - a distributed cache (read-only job-scoped side data),
+//   - counters (records read/emitted, bytes shuffled),
+//   - a cost model charging per-job startup overhead and per-byte I/O, so
+//     that runtime *shape* experiments ("more MR jobs ⇒ slower") reproduce
+//     the paper's Figure 7 without a physical cluster,
+//   - fault injection with task retry, mirroring Hadoop's error tolerance.
+package mr
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Split is one input partition of a vector data set. Rows holds
+// len(Rows)/Dim row-major points; Offset is the global index of the first
+// row, so a mapper can address points globally.
+type Split struct {
+	ID     int
+	Offset int
+	Dim    int
+	Rows   []float64
+}
+
+// NumRows returns the number of points in the split.
+func (s *Split) NumRows() int {
+	if s.Dim == 0 {
+		return 0
+	}
+	return len(s.Rows) / s.Dim
+}
+
+// Row returns the i-th point of the split (a view, not a copy).
+func (s *Split) Row(i int) []float64 { return s.Rows[i*s.Dim : (i+1)*s.Dim] }
+
+// Pair is an intermediate or output (key, value) record.
+type Pair struct {
+	Key   string
+	Value any
+}
+
+// Mapper consumes one split record-at-a-time. Implementations must be
+// re-runnable: a failed task attempt is retried from scratch on the same
+// split, so mappers must not mutate shared state outside the TaskContext.
+type Mapper interface {
+	// Setup is called once before the first record of a task attempt.
+	Setup(ctx *TaskContext) error
+	// Map is called for every record; global is the global row index.
+	Map(ctx *TaskContext, global int, row []float64) error
+	// Cleanup is called after the last record (Hadoop's cleanup hook); the
+	// MVB job of §5.5 uses it to emit per-split medians.
+	Cleanup(ctx *TaskContext) error
+}
+
+// MapperFunc adapts a plain function to the Mapper interface.
+type MapperFunc func(ctx *TaskContext, global int, row []float64) error
+
+// Setup implements Mapper.
+func (f MapperFunc) Setup(*TaskContext) error { return nil }
+
+// Map implements Mapper.
+func (f MapperFunc) Map(ctx *TaskContext, global int, row []float64) error {
+	return f(ctx, global, row)
+}
+
+// Cleanup implements Mapper.
+func (f MapperFunc) Cleanup(*TaskContext) error { return nil }
+
+// Reducer aggregates all values of one key.
+type Reducer interface {
+	Reduce(ctx *TaskContext, key string, values []any) error
+}
+
+// ReducerFunc adapts a plain function to the Reducer interface.
+type ReducerFunc func(ctx *TaskContext, key string, values []any) error
+
+// Reduce implements Reducer.
+func (f ReducerFunc) Reduce(ctx *TaskContext, key string, values []any) error {
+	return f(ctx, key, values)
+}
+
+// Combiner optionally folds mapper-local values of a key before the shuffle,
+// cutting shuffle volume exactly like a Hadoop combiner.
+type Combiner interface {
+	Combine(key string, values []any) ([]any, error)
+}
+
+// CombinerFunc adapts a plain function to the Combiner interface.
+type CombinerFunc func(key string, values []any) ([]any, error)
+
+// Combine implements Combiner.
+func (f CombinerFunc) Combine(key string, values []any) ([]any, error) {
+	return f(key, values)
+}
+
+// Job describes one MapReduce execution.
+type Job struct {
+	// Name labels the job in counters and error messages.
+	Name string
+	// Splits is the input. A nil/empty slice yields an empty job output.
+	Splits []*Split
+	// Mapper is required. NewMapper, when set, is called once per task
+	// attempt to obtain a fresh Mapper (required for stateful mappers so
+	// retries start clean); otherwise Mapper is shared across tasks and must
+	// be stateless/concurrency-safe.
+	Mapper    Mapper
+	NewMapper func() Mapper
+	// Reducer is optional. A map-only job (paper: the OD job of §5.5) leaves
+	// it nil and the mapper output is the job output.
+	Reducer Reducer
+	// Combiner is optional.
+	Combiner Combiner
+	// NumReducers defaults to the engine configuration. The paper's
+	// histogram and moment jobs use a single reducer.
+	NumReducers int
+	// Cache is the distributed cache: read-only side data shipped to every
+	// task (the paper ships candidate signatures and RSSC bit masks this
+	// way, §5.3).
+	Cache map[string]any
+}
+
+// Output is the collected result of a job.
+type Output struct {
+	// Pairs holds reducer (or mapper, for map-only jobs) output in
+	// unspecified order.
+	Pairs []Pair
+	// Counters are the accumulated job counters.
+	Counters Counters
+	// SimulatedSeconds is the modeled wall-clock cost of the job under the
+	// engine's cost model (startup + compute + shuffle I/O).
+	SimulatedSeconds float64
+}
+
+// Grouped returns the output pairs grouped by key.
+func (o *Output) Grouped() map[string][]any {
+	g := make(map[string][]any, len(o.Pairs))
+	for _, p := range o.Pairs {
+		g[p.Key] = append(g[p.Key], p.Value)
+	}
+	return g
+}
+
+// Single returns the value of the given key and ok=false when absent or
+// duplicated.
+func (o *Output) Single(key string) (any, bool) {
+	var v any
+	n := 0
+	for _, p := range o.Pairs {
+		if p.Key == key {
+			v = p.Value
+			n++
+		}
+	}
+	return v, n == 1
+}
+
+// Counters accumulate job statistics.
+type Counters struct {
+	MapInputRecords  int64
+	MapOutputRecords int64
+	CombineInput     int64
+	CombineOutput    int64
+	ReduceInputKeys  int64
+	ReduceInputVals  int64
+	OutputRecords    int64
+	ShuffledBytes    int64
+	TaskRetries      int64
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.MapInputRecords += other.MapInputRecords
+	c.MapOutputRecords += other.MapOutputRecords
+	c.CombineInput += other.CombineInput
+	c.CombineOutput += other.CombineOutput
+	c.ReduceInputKeys += other.ReduceInputKeys
+	c.ReduceInputVals += other.ReduceInputVals
+	c.OutputRecords += other.OutputRecords
+	c.ShuffledBytes += other.ShuffledBytes
+	c.TaskRetries += other.TaskRetries
+}
+
+// String summarizes the counters.
+func (c Counters) String() string {
+	return fmt.Sprintf("mapIn=%d mapOut=%d redKeys=%d out=%d shuffledB=%d retries=%d",
+		c.MapInputRecords, c.MapOutputRecords, c.ReduceInputKeys, c.OutputRecords, c.ShuffledBytes, c.TaskRetries)
+}
+
+// TaskContext is handed to every task attempt. Emit routes a pair into the
+// shuffle (for mappers) or into the job output (for reducers).
+type TaskContext struct {
+	// JobName and TaskID identify the attempt.
+	JobName string
+	TaskID  int
+	// Split is the input split for map tasks, nil in reduce tasks.
+	Split *Split
+	cache map[string]any
+	emit  func(Pair)
+}
+
+// Emit outputs a (key, value) pair.
+func (ctx *TaskContext) Emit(key string, value any) {
+	ctx.emit(Pair{Key: key, Value: value})
+}
+
+// CacheValue fetches a distributed-cache entry; ok is false when missing.
+func (ctx *TaskContext) CacheValue(name string) (any, bool) {
+	v, ok := ctx.cache[name]
+	return v, ok
+}
+
+// MustCache fetches a distributed-cache entry and panics when absent —
+// appropriate for entries the job cannot run without.
+func (ctx *TaskContext) MustCache(name string) any {
+	v, ok := ctx.cache[name]
+	if !ok {
+		panic(fmt.Sprintf("mr: job %q task %d: missing cache entry %q", ctx.JobName, ctx.TaskID, name))
+	}
+	return v
+}
+
+// partition assigns a key to one of n reduce partitions by FNV-1a hash.
+func partition(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}

@@ -1,0 +1,484 @@
+// Package outlier implements the outlier-detection phase of P3C/P3C+
+// (paper §3.2.2, §4.2.2, §5.5): points whose Mahalanobis distance to their
+// cluster exceeds the chi-square critical value at confidence alpha are
+// outliers. Two estimators for the cluster location/scatter are provided:
+//
+//   - Naive: the mean and covariance delivered by the EM phase. It suffers
+//     from the masking effect — outliers inflate the estimates and hide
+//     themselves.
+//   - MVB: an approximate minimum-volume-ball robust estimator. The ball
+//     centre is the dimension-wise median of the cluster members, the
+//     radius the median distance to the centre; mean and covariance are
+//     re-estimated from the in-ball points only. On MapReduce the medians
+//     are approximated by the median-of-split-medians, exactly as §5.5
+//     prescribes.
+package outlier
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"p3cmr/internal/em"
+	"p3cmr/internal/linalg"
+	"p3cmr/internal/mr"
+	"p3cmr/internal/stats"
+)
+
+// Method selects the estimator.
+type Method int
+
+const (
+	// Naive uses the EM means and covariances directly.
+	Naive Method = iota
+	// MVB re-estimates from a robust minimum-volume-ball core.
+	MVB
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case Naive:
+		return "naive"
+	case MVB:
+		return "mvb"
+	case MVE:
+		return "mve"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// OutlierLabel marks a point that belongs to no cluster.
+const OutlierLabel = -1
+
+// Detect runs the OD job (§5.5): every point is assigned to its most likely
+// component and flagged as an outlier when its squared Mahalanobis distance
+// exceeds the chi-square critical value with |Arel| degrees of freedom at
+// level alpha. With method MVB the cluster statistics are first re-estimated
+// robustly with three additional MR jobs. The returned labels hold a cluster
+// index or OutlierLabel per global point index; n must be the total point
+// count across splits.
+func Detect(engine *mr.Engine, splits []*mr.Split, model *em.Model, n int, method Method, alpha float64) ([]int, error) {
+	testModel := model
+	switch method {
+	case MVB:
+		robust, err := robustModel(engine, splits, model)
+		if err != nil {
+			return nil, err
+		}
+		testModel = robust
+	case MVE:
+		robust, err := mveModel(engine, splits, model)
+		if err != nil {
+			return nil, err
+		}
+		testModel = robust
+	}
+	if err := testModel.Prepare(); err != nil {
+		return nil, err
+	}
+	// Assignment always follows the EM mixture; only the distance test uses
+	// the (possibly robust) statistics.
+	if err := model.Prepare(); err != nil {
+		return nil, err
+	}
+	crit := stats.ChiSquareCritical(alpha, len(model.Attrs))
+
+	job := &mr.Job{
+		Name:   "outlier-detect",
+		Splits: splits,
+		NewMapper: func() mr.Mapper {
+			return &odMapper{assign: model, test: testModel, crit: crit}
+		},
+	}
+	out, err := engine.Run(job)
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = OutlierLabel
+	}
+	for _, p := range out.Pairs {
+		idx := p.Value.([2]int)
+		if idx[0] < 0 || idx[0] >= n {
+			return nil, fmt.Errorf("outlier: point index %d out of range", idx[0])
+		}
+		labels[idx[0]] = idx[1]
+	}
+	return labels, nil
+}
+
+// odMapper is the map-only OD job: it emits (global index, label).
+type odMapper struct {
+	assign *em.Model
+	test   *em.Model
+	crit   float64
+	proj   []float64
+	sc1    []float64
+	sc2    []float64
+}
+
+func (m *odMapper) Setup(*mr.TaskContext) error {
+	d := len(m.assign.Attrs)
+	m.proj = make([]float64, d)
+	m.sc1 = make([]float64, d)
+	m.sc2 = make([]float64, d)
+	return nil
+}
+
+func (m *odMapper) Map(ctx *mr.TaskContext, global int, row []float64) error {
+	x := m.assign.Project(m.proj, row)
+	c := m.assign.MostLikely(x, m.sc1, m.sc2)
+	d := m.test.Mahalanobis(c, x, m.sc1, m.sc2)
+	label := c
+	if d*d > m.crit {
+		label = OutlierLabel
+	}
+	ctx.Emit("p", [2]int{global, label})
+	return nil
+}
+
+func (m *odMapper) Cleanup(*mr.TaskContext) error { return nil }
+
+// ballStat ships one split's per-cluster MVB approximation.
+type ballStat struct {
+	Center []float64
+	Radius float64
+	Count  int64
+}
+
+// robustModel performs the three MVB jobs of §5.5 and returns a model with
+// the robust means/covariances (weights and Attrs copied from model).
+func robustModel(engine *mr.Engine, splits []*mr.Split, model *em.Model) (*em.Model, error) {
+	if err := model.Prepare(); err != nil {
+		return nil, err
+	}
+	k := model.K()
+	d := len(model.Attrs)
+
+	// Job 1: per-split medians and radii per cluster; reducer aggregates by
+	// dimension-wise median of means and median of radii.
+	job1 := &mr.Job{
+		Name:   "mvb-ball",
+		Splits: splits,
+		NewMapper: func() mr.Mapper {
+			return &ballMapper{model: model}
+		},
+		Reducer: mr.ReducerFunc(func(ctx *mr.TaskContext, key string, values []any) error {
+			per := make([]ballStat, 0, len(values))
+			for _, v := range values {
+				per = append(per, v.(ballStat))
+			}
+			agg := ballStat{Center: make([]float64, d)}
+			col := make([]float64, 0, len(per))
+			for j := 0; j < d; j++ {
+				col = col[:0]
+				for _, st := range per {
+					col = append(col, st.Center[j])
+				}
+				agg.Center[j] = stats.MedianInPlace(col)
+			}
+			col = col[:0]
+			for _, st := range per {
+				col = append(col, st.Radius)
+				agg.Count += st.Count
+			}
+			agg.Radius = stats.MedianInPlace(col)
+			ctx.Emit(key, agg)
+			return nil
+		}),
+	}
+	out1, err := engine.Run(job1)
+	if err != nil {
+		return nil, err
+	}
+	balls := make([]*ballStat, k)
+	for _, p := range out1.Pairs {
+		var c int
+		fmt.Sscanf(p.Key, "c%d", &c)
+		st := p.Value.(ballStat)
+		balls[c] = &st
+	}
+
+	// Jobs 2+3: mean then covariance of the in-ball points per cluster,
+	// exactly as the EM initialization computes its statistics.
+	means, counts, err := ballMeans(engine, splits, model, balls)
+	if err != nil {
+		return nil, err
+	}
+	covs, err := ballCovariances(engine, splits, model, balls, means)
+	if err != nil {
+		return nil, err
+	}
+
+	robust := model.Clone()
+	for i := 0; i < k; i++ {
+		if counts[i] >= 2 {
+			robust.Components[i].Mean = means[i]
+			robust.Components[i].Cov = covs[i]
+		}
+		// Clusters whose ball captured <2 points keep the EM statistics.
+	}
+	return robust, nil
+}
+
+// ballMapper caches its split's points grouped by most-likely cluster and in
+// Cleanup computes each cluster's split-local MVB approximation: the
+// dimension-wise median centre and the median distance radius.
+type ballMapper struct {
+	model  *em.Model
+	groups [][]float64 // projected points per cluster, row-major
+	proj   []float64
+	sc1    []float64
+	sc2    []float64
+}
+
+func (m *ballMapper) Setup(*mr.TaskContext) error {
+	d := len(m.model.Attrs)
+	m.groups = make([][]float64, m.model.K())
+	m.proj = make([]float64, d)
+	m.sc1 = make([]float64, d)
+	m.sc2 = make([]float64, d)
+	return nil
+}
+
+func (m *ballMapper) Map(ctx *mr.TaskContext, global int, row []float64) error {
+	x := m.model.Project(m.proj, row)
+	c := m.model.MostLikely(x, m.sc1, m.sc2)
+	m.groups[c] = append(m.groups[c], x...)
+	return nil
+}
+
+func (m *ballMapper) Cleanup(ctx *mr.TaskContext) error {
+	d := len(m.model.Attrs)
+	col := make([]float64, 0, 1024)
+	for c, rows := range m.groups {
+		n := len(rows) / d
+		if n == 0 {
+			continue
+		}
+		center := make([]float64, d)
+		for j := 0; j < d; j++ {
+			col = col[:0]
+			for i := 0; i < n; i++ {
+				col = append(col, rows[i*d+j])
+			}
+			center[j] = stats.MedianInPlace(col)
+		}
+		dists := make([]float64, n)
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j < d; j++ {
+				diff := rows[i*d+j] - center[j]
+				s += diff * diff
+			}
+			dists[i] = math.Sqrt(s)
+		}
+		sort.Float64s(dists)
+		radius := dists[n/2]
+		if n%2 == 0 && n >= 2 {
+			radius = (dists[n/2-1] + dists[n/2]) / 2
+		}
+		ctx.Emit(fmt.Sprintf("c%d", c), ballStat{Center: center, Radius: radius, Count: int64(n)})
+	}
+	return nil
+}
+
+// meanStat ships per-cluster in-ball sums.
+type meanStat struct {
+	Sum   []float64
+	Count int64
+}
+
+func ballMeans(engine *mr.Engine, splits []*mr.Split, model *em.Model, balls []*ballStat) ([][]float64, []int64, error) {
+	d := len(model.Attrs)
+	k := model.K()
+	job := &mr.Job{
+		Name:   "mvb-mean",
+		Splits: splits,
+		NewMapper: func() mr.Mapper {
+			return &inBallMapper{model: model, balls: balls, emitCov: false}
+		},
+		Reducer: mr.ReducerFunc(func(ctx *mr.TaskContext, key string, values []any) error {
+			agg := meanStat{Sum: make([]float64, d)}
+			for _, v := range values {
+				st := v.(meanStat)
+				agg.Count += st.Count
+				for j := range agg.Sum {
+					agg.Sum[j] += st.Sum[j]
+				}
+			}
+			ctx.Emit(key, agg)
+			return nil
+		}),
+	}
+	out, err := engine.Run(job)
+	if err != nil {
+		return nil, nil, err
+	}
+	means := make([][]float64, k)
+	counts := make([]int64, k)
+	for i := range means {
+		means[i] = append([]float64(nil), model.Components[i].Mean...)
+	}
+	for _, p := range out.Pairs {
+		var c int
+		fmt.Sscanf(p.Key, "c%d", &c)
+		st := p.Value.(meanStat)
+		counts[c] = st.Count
+		if st.Count > 0 {
+			mu := make([]float64, d)
+			for j := range mu {
+				mu[j] = st.Sum[j] / float64(st.Count)
+			}
+			means[c] = mu
+		}
+	}
+	return means, counts, nil
+}
+
+// scatterStat ships per-cluster in-ball scatter.
+type scatterStat struct {
+	S     []float64
+	Count int64
+}
+
+func ballCovariances(engine *mr.Engine, splits []*mr.Split, model *em.Model, balls []*ballStat, means [][]float64) ([]*linalg.Matrix, error) {
+	d := len(model.Attrs)
+	k := model.K()
+	job := &mr.Job{
+		Name:   "mvb-cov",
+		Splits: splits,
+		NewMapper: func() mr.Mapper {
+			return &inBallMapper{model: model, balls: balls, emitCov: true, means: means}
+		},
+		Reducer: mr.ReducerFunc(func(ctx *mr.TaskContext, key string, values []any) error {
+			agg := scatterStat{S: make([]float64, d*d)}
+			for _, v := range values {
+				st := v.(scatterStat)
+				agg.Count += st.Count
+				for j := range agg.S {
+					agg.S[j] += st.S[j]
+				}
+			}
+			ctx.Emit(key, agg)
+			return nil
+		}),
+	}
+	out, err := engine.Run(job)
+	if err != nil {
+		return nil, err
+	}
+	covs := make([]*linalg.Matrix, k)
+	for i := range covs {
+		covs[i] = model.Components[i].Cov.Clone()
+	}
+	for _, p := range out.Pairs {
+		var c int
+		fmt.Sscanf(p.Key, "c%d", &c)
+		st := p.Value.(scatterStat)
+		if st.Count >= 2 {
+			cov := linalg.NewMatrix(d, d)
+			f := 1 / float64(st.Count-1)
+			for j := range cov.Data {
+				cov.Data[j] = st.S[j] * f
+			}
+			covs[c] = cov
+		}
+	}
+	return covs, nil
+}
+
+// inBallMapper accumulates sums (or scatter) of the points inside each
+// cluster's MVB.
+type inBallMapper struct {
+	model   *em.Model
+	balls   []*ballStat
+	emitCov bool
+	means   [][]float64
+
+	sums     []meanStat
+	scatters []scatterStat
+	proj     []float64
+	sc1      []float64
+	sc2      []float64
+}
+
+func (m *inBallMapper) Setup(*mr.TaskContext) error {
+	d := len(m.model.Attrs)
+	k := m.model.K()
+	if m.emitCov {
+		m.scatters = make([]scatterStat, k)
+		for i := range m.scatters {
+			m.scatters[i].S = make([]float64, d*d)
+		}
+	} else {
+		m.sums = make([]meanStat, k)
+		for i := range m.sums {
+			m.sums[i].Sum = make([]float64, d)
+		}
+	}
+	m.proj = make([]float64, d)
+	m.sc1 = make([]float64, d)
+	m.sc2 = make([]float64, d)
+	return nil
+}
+
+func (m *inBallMapper) Map(ctx *mr.TaskContext, global int, row []float64) error {
+	d := len(m.model.Attrs)
+	x := m.model.Project(m.proj, row)
+	c := m.model.MostLikely(x, m.sc1, m.sc2)
+	ball := m.balls[c]
+	if ball == nil {
+		return nil
+	}
+	s := 0.0
+	for j := 0; j < d; j++ {
+		diff := x[j] - ball.Center[j]
+		s += diff * diff
+	}
+	if math.Sqrt(s) > ball.Radius {
+		return nil
+	}
+	if m.emitCov {
+		mu := m.means[c]
+		sc := m.scatters[c].S
+		for a := 0; a < d; a++ {
+			da := x[a] - mu[a]
+			if da == 0 {
+				continue
+			}
+			base := a * d
+			for b := 0; b < d; b++ {
+				sc[base+b] += da * (x[b] - mu[b])
+			}
+		}
+		m.scatters[c].Count++
+	} else {
+		st := &m.sums[c]
+		for j := 0; j < d; j++ {
+			st.Sum[j] += x[j]
+		}
+		st.Count++
+	}
+	return nil
+}
+
+func (m *inBallMapper) Cleanup(ctx *mr.TaskContext) error {
+	if m.emitCov {
+		for c, st := range m.scatters {
+			if st.Count > 0 {
+				ctx.Emit(fmt.Sprintf("c%d", c), st)
+			}
+		}
+		return nil
+	}
+	for c, st := range m.sums {
+		if st.Count > 0 {
+			ctx.Emit(fmt.Sprintf("c%d", c), st)
+		}
+	}
+	return nil
+}

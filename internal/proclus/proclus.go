@@ -1,0 +1,528 @@
+// Package proclus implements PROCLUS (Aggarwal et al., SIGMOD 1999), the
+// k-medoid projected clustering algorithm the reproduced paper discusses as
+// related work (§2). It serves as an additional baseline: unlike P3C it
+// needs the cluster count k and average dimensionality l as inputs, and its
+// medoid hill-climbing gives no quality guarantee.
+//
+// The implementation follows the original three phases:
+//
+//  1. Initialization: sample A·k points, greedily pick B·k well-separated
+//     candidates by max-min distance.
+//  2. Iteration: pick k medoids, compute each medoid's locality, select
+//     per-medoid dimensions by smallest standardized average distance
+//     (≥2 per medoid, k·l total), assign points by segmental Manhattan
+//     distance, and replace the worst medoids while the objective improves.
+//  3. Refinement: recompute dimensions from the final clusters, reassign
+//     once, and mark outliers farther from every medoid than that medoid's
+//     sphere of influence.
+package proclus
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"p3cmr/internal/dataset"
+	"p3cmr/internal/eval"
+)
+
+// Params configures a PROCLUS run.
+type Params struct {
+	// K is the target cluster count (required).
+	K int
+	// L is the average cluster dimensionality (required, ≥ 2).
+	L int
+	// A and B are the sampling factors of the initialization phase
+	// (defaults 30 and 3, per the original paper).
+	A, B int
+	// MaxIterations bounds the medoid hill climbing (default 30).
+	MaxIterations int
+	// MaxBadRounds stops after this many non-improving medoid swaps
+	// (default 5).
+	MaxBadRounds int
+	// MinDeviation is the fraction of n/k below which a cluster marks its
+	// medoid as bad (default 0.1).
+	MinDeviation float64
+	// Seed drives all sampling.
+	Seed int64
+}
+
+func (p Params) withDefaults() Params {
+	if p.A <= 0 {
+		p.A = 30
+	}
+	if p.B <= 0 {
+		p.B = 3
+	}
+	if p.MaxIterations <= 0 {
+		p.MaxIterations = 30
+	}
+	if p.MaxBadRounds <= 0 {
+		p.MaxBadRounds = 5
+	}
+	if p.MinDeviation <= 0 {
+		p.MinDeviation = 0.1
+	}
+	return p
+}
+
+// Validate reports configuration errors.
+func (p Params) Validate() error {
+	if p.K < 1 {
+		return fmt.Errorf("proclus: K must be ≥ 1, got %d", p.K)
+	}
+	if p.L < 2 {
+		return fmt.Errorf("proclus: L must be ≥ 2, got %d", p.L)
+	}
+	return nil
+}
+
+// Result is a PROCLUS clustering.
+type Result struct {
+	// Medoids holds the final medoid row indices.
+	Medoids []int
+	// Dims holds each cluster's selected dimensions, ascending.
+	Dims [][]int
+	// Labels assigns each point a cluster or -1 (outlier).
+	Labels []int
+	// Clusters is the evaluation view.
+	Clusters []*eval.Cluster
+	// Iterations is the number of hill-climbing rounds run.
+	Iterations int
+}
+
+// Run executes PROCLUS on the data set.
+func Run(data *dataset.Dataset, params Params) (*Result, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	params = params.withDefaults()
+	n := data.N()
+	if n < params.K {
+		return nil, fmt.Errorf("proclus: %d points cannot form %d clusters", n, params.K)
+	}
+	rng := rand.New(rand.NewSource(params.Seed))
+
+	candidates := initialMedoids(data, params, rng)
+	state := newSearchState(data, params, candidates, rng)
+	state.climb()
+
+	labels, dims := state.refine()
+	res := &Result{
+		Medoids:    append([]int(nil), state.best...),
+		Dims:       dims,
+		Labels:     labels,
+		Iterations: state.iterations,
+	}
+	res.Clusters = make([]*eval.Cluster, params.K)
+	for c := range res.Clusters {
+		res.Clusters[c] = &eval.Cluster{Attrs: dims[c]}
+	}
+	for i, l := range labels {
+		if l >= 0 {
+			res.Clusters[l].Objects = append(res.Clusters[l].Objects, i)
+		}
+	}
+	return res, nil
+}
+
+// initialMedoids samples A·k points and greedily picks B·k well-separated
+// ones (max-min Euclidean distance), the classic piercing heuristic.
+func initialMedoids(data *dataset.Dataset, params Params, rng *rand.Rand) []int {
+	n := data.N()
+	sampleSize := params.A * params.K
+	if sampleSize > n {
+		sampleSize = n
+	}
+	sample := rng.Perm(n)[:sampleSize]
+
+	target := params.B * params.K
+	if target > sampleSize {
+		target = sampleSize
+	}
+	chosen := make([]int, 0, target)
+	chosen = append(chosen, sample[rng.Intn(len(sample))])
+	minDist := make([]float64, len(sample))
+	for i := range minDist {
+		minDist[i] = math.Inf(1)
+	}
+	for len(chosen) < target {
+		last := data.Row(chosen[len(chosen)-1])
+		best, bestDist := -1, -1.0
+		for i, idx := range sample {
+			d := euclidean(data.Row(idx), last)
+			if d < minDist[i] {
+				minDist[i] = d
+			}
+			if minDist[i] > bestDist {
+				best, bestDist = i, minDist[i]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		chosen = append(chosen, sample[best])
+		minDist[best] = 0
+	}
+	return chosen
+}
+
+// searchState carries the hill-climbing loop.
+type searchState struct {
+	data       *dataset.Dataset
+	params     Params
+	candidates []int
+	rng        *rand.Rand
+
+	best       []int
+	bestDims   [][]int
+	bestLabels []int
+	bestCost   float64
+	iterations int
+}
+
+func newSearchState(data *dataset.Dataset, params Params, candidates []int, rng *rand.Rand) *searchState {
+	return &searchState{
+		data: data, params: params, candidates: candidates, rng: rng,
+		bestCost: math.Inf(1),
+	}
+}
+
+// climb runs the medoid replacement loop.
+func (s *searchState) climb() {
+	k := s.params.K
+	current := append([]int(nil), s.candidates[:k]...)
+	bad := 0
+	for it := 0; it < s.params.MaxIterations && bad < s.params.MaxBadRounds; it++ {
+		s.iterations++
+		dims := s.selectDimensions(current)
+		labels, cost := s.assign(current, dims)
+		if cost < s.bestCost {
+			s.bestCost = cost
+			s.best = append(s.best[:0], current...)
+			s.bestDims = dims
+			s.bestLabels = labels
+			bad = 0
+		} else {
+			bad++
+		}
+		// Replace the bad medoids (too-small clusters) with random
+		// candidates not currently in use.
+		current = s.replaceBad(append([]int(nil), s.best...), s.bestLabels)
+	}
+}
+
+// selectDimensions implements the locality-based dimension choice: for each
+// medoid, average dimension-wise distances over its locality, standardize
+// per medoid, and greedily take the k·l smallest Z-scores with at least two
+// per medoid.
+func (s *searchState) selectDimensions(medoids []int) [][]int {
+	k := s.params.K
+	d := s.data.Dim
+	// Locality radius: distance to the nearest other medoid.
+	delta := make([]float64, k)
+	for i := range medoids {
+		delta[i] = math.Inf(1)
+		for j := range medoids {
+			if i == j {
+				continue
+			}
+			dist := euclidean(s.data.Row(medoids[i]), s.data.Row(medoids[j]))
+			if dist < delta[i] {
+				delta[i] = dist
+			}
+		}
+		if math.IsInf(delta[i], 1) {
+			delta[i] = 0.5 // single-medoid degenerate case
+		}
+	}
+	// X[i][j]: mean |x_j − m_ij| over the locality of medoid i.
+	X := make([][]float64, k)
+	counts := make([]int, k)
+	for i := range X {
+		X[i] = make([]float64, d)
+	}
+	n := s.data.N()
+	for p := 0; p < n; p++ {
+		row := s.data.Row(p)
+		for i, m := range medoids {
+			mrow := s.data.Row(m)
+			if euclidean(row, mrow) <= delta[i] {
+				counts[i]++
+				for j := 0; j < d; j++ {
+					X[i][j] += math.Abs(row[j] - mrow[j])
+				}
+			}
+		}
+	}
+	type zEntry struct {
+		medoid, dim int
+		z           float64
+	}
+	var entries []zEntry
+	for i := 0; i < k; i++ {
+		if counts[i] == 0 {
+			counts[i] = 1
+		}
+		mean, sd := 0.0, 0.0
+		for j := 0; j < d; j++ {
+			X[i][j] /= float64(counts[i])
+			mean += X[i][j]
+		}
+		mean /= float64(d)
+		for j := 0; j < d; j++ {
+			diff := X[i][j] - mean
+			sd += diff * diff
+		}
+		sd = math.Sqrt(sd / float64(d-1))
+		if sd == 0 {
+			sd = 1
+		}
+		for j := 0; j < d; j++ {
+			entries = append(entries, zEntry{i, j, (X[i][j] - mean) / sd})
+		}
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].z < entries[b].z })
+
+	dims := make([][]int, k)
+	total := k * s.params.L
+	// First pass: guarantee two dimensions per medoid.
+	taken := 0
+	for _, e := range entries {
+		if len(dims[e.medoid]) < 2 {
+			dims[e.medoid] = append(dims[e.medoid], e.dim)
+			taken++
+		}
+	}
+	// Second pass: fill to k·l by global smallest Z.
+	for _, e := range entries {
+		if taken >= total {
+			break
+		}
+		if contains(dims[e.medoid], e.dim) {
+			continue
+		}
+		dims[e.medoid] = append(dims[e.medoid], e.dim)
+		taken++
+	}
+	for i := range dims {
+		sort.Ints(dims[i])
+	}
+	return dims
+}
+
+// assign gives each point to the medoid with the smallest segmental
+// Manhattan distance over that medoid's dimensions, returning labels and
+// the objective (mean within-cluster segmental distance).
+func (s *searchState) assign(medoids []int, dims [][]int) ([]int, float64) {
+	n := s.data.N()
+	labels := make([]int, n)
+	total := 0.0
+	for p := 0; p < n; p++ {
+		row := s.data.Row(p)
+		best, bestDist := 0, math.Inf(1)
+		for i, m := range medoids {
+			dist := segmental(row, s.data.Row(m), dims[i])
+			if dist < bestDist {
+				best, bestDist = i, dist
+			}
+		}
+		labels[p] = best
+		total += bestDist
+	}
+	return labels, total / float64(n)
+}
+
+// replaceBad swaps the medoids of undersized clusters for fresh candidates.
+func (s *searchState) replaceBad(medoids, labels []int) []int {
+	n := s.data.N()
+	k := s.params.K
+	sizes := make([]int, k)
+	for _, l := range labels {
+		if l >= 0 {
+			sizes[l]++
+		}
+	}
+	minSize := int(s.params.MinDeviation * float64(n) / float64(k))
+	inUse := make(map[int]bool, k)
+	for _, m := range medoids {
+		inUse[m] = true
+	}
+	for i := range medoids {
+		if sizes[i] >= minSize && sizes[i] > 0 {
+			continue
+		}
+		// Draw a replacement candidate not currently in use.
+		for tries := 0; tries < 4*len(s.candidates); tries++ {
+			c := s.candidates[s.rng.Intn(len(s.candidates))]
+			if !inUse[c] {
+				inUse[c] = true
+				medoids[i] = c
+				break
+			}
+		}
+	}
+	// Random restart jitter: occasionally swap one good medoid too.
+	if s.rng.Float64() < 0.5 {
+		i := s.rng.Intn(k)
+		for tries := 0; tries < 4*len(s.candidates); tries++ {
+			c := s.candidates[s.rng.Intn(len(s.candidates))]
+			if !inUse[c] {
+				medoids[i] = c
+				break
+			}
+		}
+	}
+	return medoids
+}
+
+// refine recomputes dimensions from the best clusters (not localities),
+// reassigns once, and marks outliers beyond every medoid's sphere of
+// influence (the smallest segmental distance to any other medoid).
+func (s *searchState) refine() ([]int, [][]int) {
+	k := s.params.K
+	d := s.data.Dim
+	n := s.data.N()
+	if s.best == nil {
+		// Degenerate: no iteration improved anything; fall back.
+		s.best = append([]int(nil), s.candidates[:k]...)
+		s.bestDims = s.selectDimensions(s.best)
+		s.bestLabels, _ = s.assign(s.best, s.bestDims)
+	}
+	// Recompute X from the clusters themselves.
+	X := make([][]float64, k)
+	counts := make([]int, k)
+	for i := range X {
+		X[i] = make([]float64, d)
+	}
+	for p := 0; p < n; p++ {
+		l := s.bestLabels[p]
+		if l < 0 {
+			continue
+		}
+		counts[l]++
+		mrow := s.data.Row(s.best[l])
+		row := s.data.Row(p)
+		for j := 0; j < d; j++ {
+			X[l][j] += math.Abs(row[j] - mrow[j])
+		}
+	}
+	type zEntry struct {
+		medoid, dim int
+		z           float64
+	}
+	var entries []zEntry
+	for i := 0; i < k; i++ {
+		if counts[i] == 0 {
+			counts[i] = 1
+		}
+		mean, sd := 0.0, 0.0
+		for j := 0; j < d; j++ {
+			X[i][j] /= float64(counts[i])
+			mean += X[i][j]
+		}
+		mean /= float64(d)
+		for j := 0; j < d; j++ {
+			diff := X[i][j] - mean
+			sd += diff * diff
+		}
+		sd = math.Sqrt(sd / float64(d-1))
+		if sd == 0 {
+			sd = 1
+		}
+		for j := 0; j < d; j++ {
+			entries = append(entries, zEntry{i, j, (X[i][j] - mean) / sd})
+		}
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].z < entries[b].z })
+	dims := make([][]int, k)
+	total := k * s.params.L
+	taken := 0
+	for _, e := range entries {
+		if len(dims[e.medoid]) < 2 {
+			dims[e.medoid] = append(dims[e.medoid], e.dim)
+			taken++
+		}
+	}
+	for _, e := range entries {
+		if taken >= total {
+			break
+		}
+		if contains(dims[e.medoid], e.dim) {
+			continue
+		}
+		dims[e.medoid] = append(dims[e.medoid], e.dim)
+		taken++
+	}
+	for i := range dims {
+		sort.Ints(dims[i])
+	}
+
+	labels, _ := s.assign(s.best, dims)
+
+	// Outliers: sphere of influence per medoid = min segmental distance to
+	// the other medoids under the medoid's own dimensions.
+	sphere := make([]float64, k)
+	for i := range s.best {
+		sphere[i] = math.Inf(1)
+		for j := range s.best {
+			if i == j {
+				continue
+			}
+			dist := segmental(s.data.Row(s.best[i]), s.data.Row(s.best[j]), dims[i])
+			if dist < sphere[i] {
+				sphere[i] = dist
+			}
+		}
+		if math.IsInf(sphere[i], 1) {
+			sphere[i] = math.MaxFloat64
+		}
+	}
+	for p := 0; p < n; p++ {
+		outlier := true
+		row := s.data.Row(p)
+		for i := range s.best {
+			if segmental(row, s.data.Row(s.best[i]), dims[i]) <= sphere[i] {
+				outlier = false
+				break
+			}
+		}
+		if outlier {
+			labels[p] = -1
+		}
+	}
+	return labels, dims
+}
+
+// euclidean returns the full-space Euclidean distance.
+func euclidean(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		diff := a[i] - b[i]
+		s += diff * diff
+	}
+	return math.Sqrt(s)
+}
+
+// segmental returns the Manhattan segmental distance over dims: the mean
+// per-dimension absolute difference (Aggarwal et al.'s metric).
+func segmental(a, b []float64, dims []int) float64 {
+	if len(dims) == 0 {
+		return math.Inf(1)
+	}
+	s := 0.0
+	for _, j := range dims {
+		s += math.Abs(a[j] - b[j])
+	}
+	return s / float64(len(dims))
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,157 @@
+package proclus
+
+import (
+	"math"
+	"testing"
+
+	"p3cmr/internal/dataset"
+	"p3cmr/internal/eval"
+)
+
+func genData(t *testing.T, n, dim, k int, noise float64, seed int64) (*dataset.Dataset, *dataset.GroundTruth) {
+	t.Helper()
+	data, truth, err := dataset.Generate(dataset.GenConfig{
+		N: n, Dim: dim, Clusters: k, NoiseFraction: noise, Seed: seed, Overlap: true,
+		MinClusterDims: 4, MaxClusterDims: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, truth
+}
+
+func TestParamsValidate(t *testing.T) {
+	if (Params{K: 0, L: 3}).Validate() == nil {
+		t.Error("K=0 accepted")
+	}
+	if (Params{K: 2, L: 1}).Validate() == nil {
+		t.Error("L=1 accepted")
+	}
+	if (Params{K: 2, L: 3}).Validate() != nil {
+		t.Error("valid params rejected")
+	}
+}
+
+func TestRunRejectsTooFewPoints(t *testing.T) {
+	data := dataset.FromRows(2, []float64{0.1, 0.2})
+	if _, err := Run(data, Params{K: 3, L: 2}); err == nil {
+		t.Fatal("1 point for 3 clusters accepted")
+	}
+}
+
+func TestRunFindsPlantedClusters(t *testing.T) {
+	data, truth := genData(t, 3000, 15, 3, 0.05, 11)
+	res, err := Run(data, Params{K: 3, L: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 3 {
+		t.Fatalf("clusters = %d", len(res.Clusters))
+	}
+	if res.Iterations == 0 {
+		t.Fatal("no hill-climbing iterations")
+	}
+	var truthCs []*eval.Cluster
+	for _, tc := range truth.Clusters {
+		truthCs = append(truthCs, &eval.Cluster{Objects: tc.Members, Attrs: tc.Attrs})
+	}
+	tc, err := eval.NewSubspaceClustering(truth.N, truth.Dim, truthCs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found, err := eval.NewSubspaceClustering(data.N(), data.Dim, res.Clusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PROCLUS is a weaker baseline than P3C+; object-level F1 is the fair
+	// yardstick (its interval-free model has no tight subspace semantics).
+	f1 := eval.F1(found, tc)
+	e4sc := eval.E4SC(found, tc)
+	t.Logf("PROCLUS F1=%.3f E4SC=%.3f", f1, e4sc)
+	if f1 < 0.6 {
+		t.Errorf("F1 = %.3f too low", f1)
+	}
+}
+
+func TestDimensionCounts(t *testing.T) {
+	data, _ := genData(t, 1500, 12, 2, 0.05, 21)
+	const k, l = 2, 4
+	res, err := Run(data, Params{K: k, L: l, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for c, dims := range res.Dims {
+		if len(dims) < 2 {
+			t.Errorf("cluster %d has %d dims, want ≥ 2", c, len(dims))
+		}
+		total += len(dims)
+		// Dims are sorted unique within range.
+		for i, d := range dims {
+			if d < 0 || d >= data.Dim {
+				t.Errorf("cluster %d dim %d out of range", c, d)
+			}
+			if i > 0 && dims[i-1] >= d {
+				t.Errorf("cluster %d dims not sorted unique", c)
+			}
+		}
+	}
+	if total != k*l {
+		t.Errorf("total dims = %d, want %d", total, k*l)
+	}
+}
+
+func TestLabelsWellFormed(t *testing.T) {
+	data, _ := genData(t, 1000, 10, 2, 0.2, 5)
+	res, err := Run(data, Params{K: 2, L: 4, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Labels) != data.N() {
+		t.Fatal("labels length wrong")
+	}
+	for _, l := range res.Labels {
+		if l < -1 || l >= 2 {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+}
+
+func TestSegmentalDistance(t *testing.T) {
+	a := []float64{0, 0, 0, 0}
+	b := []float64{1, 2, 3, 4}
+	if got := segmental(a, b, []int{0, 2}); got != 2 { // (1+3)/2
+		t.Fatalf("segmental = %g", got)
+	}
+	if got := segmental(a, b, nil); !math.IsInf(got, 1) {
+		t.Fatal("empty dims must be +Inf")
+	}
+}
+
+func TestInitialMedoidsSpread(t *testing.T) {
+	data, _ := genData(t, 500, 8, 2, 0, 9)
+	res, err := Run(data, Params{K: 2, L: 3, A: 10, B: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Medoids[0] == res.Medoids[1] {
+		t.Fatal("duplicate medoids")
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	data, _ := genData(t, 800, 10, 2, 0.05, 31)
+	r1, err := Run(data, Params{K: 2, L: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(data, Params{K: 2, L: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Labels {
+		if r1.Labels[i] != r2.Labels[i] {
+			t.Fatal("not deterministic by seed")
+		}
+	}
+}

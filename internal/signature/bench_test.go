@@ -1,0 +1,109 @@
+package signature
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchSigs builds a candidate set shaped like a real proving batch.
+func benchSigs(numSigs, dim int) []Signature {
+	rng := rand.New(rand.NewSource(1))
+	sigs := make([]Signature, 0, numSigs)
+	for len(sigs) < numSigs {
+		p := 1 + rng.Intn(3)
+		var ivs []Interval
+		used := map[int]bool{}
+		for len(ivs) < p {
+			a := rng.Intn(dim)
+			if used[a] {
+				continue
+			}
+			used[a] = true
+			lo := float64(rng.Intn(8)) / 10
+			ivs = append(ivs, Interval{Attr: a, Lo: lo, Hi: lo + 0.2})
+		}
+		sigs = append(sigs, New(ivs...))
+	}
+	return Dedup(sigs)
+}
+
+func BenchmarkRSSCBuild(b *testing.B) {
+	for _, n := range []int{100, 1000, 5000} {
+		sigs := benchSigs(n, 20)
+		b.Run(itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				NewRSSC(sigs)
+			}
+		})
+	}
+}
+
+func BenchmarkRSSCQuery(b *testing.B) {
+	for _, n := range []int{100, 1000, 5000} {
+		sigs := benchSigs(n, 20)
+		r := NewRSSC(sigs)
+		rng := rand.New(rand.NewSource(2))
+		x := make([]float64, 20)
+		for i := range x {
+			x[i] = rng.Float64()
+		}
+		var mask []uint64
+		b.Run(itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mask = r.Query(mask, x)
+			}
+		})
+	}
+}
+
+func BenchmarkNaiveContainment(b *testing.B) {
+	for _, n := range []int{100, 1000, 5000} {
+		sigs := benchSigs(n, 20)
+		rng := rand.New(rand.NewSource(2))
+		x := make([]float64, 20)
+		for i := range x {
+			x[i] = rng.Float64()
+		}
+		b.Run(itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, s := range sigs {
+					s.Contains(x)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGenerateCandidates(b *testing.B) {
+	level := benchSigs(500, 30)
+	k := int64(len(level))
+	total := k * (k - 1) / 2
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GenerateCandidates(level, 0, total)
+	}
+}
+
+func BenchmarkPairFromIndex(b *testing.B) {
+	const k = 100000
+	total := int64(k) * (k - 1) / 2
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		PairFromIndex(int64(i)%total, k)
+	}
+}
+
+func itoa(n int) string {
+	switch n {
+	case 100:
+		return "sigs=100"
+	case 1000:
+		return "sigs=1000"
+	default:
+		return "sigs=5000"
+	}
+}

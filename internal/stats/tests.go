@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// ChiSquareUniformTest performs the standard chi-square goodness-of-fit test
+// of the observed bin counts against the uniform distribution. It returns
+// the statistic and the p-value P(X² ≥ stat). Bins with zero expected count
+// (empty input) yield p = 1.
+func ChiSquareUniformTest(counts []int64) (stat, pValue float64) {
+	k := len(counts)
+	if k < 2 {
+		return 0, 1
+	}
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
+	if n == 0 {
+		return 0, 1
+	}
+	expected := float64(n) / float64(k)
+	for _, c := range counts {
+		d := float64(c) - expected
+		stat += d * d / expected
+	}
+	return stat, ChiSquareSF(stat, k-1)
+}
+
+// IsUniform reports whether the chi-square test fails to reject uniformity of
+// counts at significance level alpha.
+func IsUniform(counts []int64, alpha float64) bool {
+	_, p := ChiSquareUniformTest(counts)
+	return p >= alpha
+}
+
+// CohenD computes the effect-size statistic of §4.1.2 (Eq. 4) with
+// σ = expected support:
+//
+//	d_cc = (observed − expected) / expected
+//
+// i.e. the relative deviation of the observed from the expected support.
+// For expected ≤ 0 it returns +Inf when anything was observed, else 0.
+func CohenD(observed, expected float64) float64 {
+	if expected <= 0 {
+		if observed > 0 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	return (observed - expected) / expected
+}
+
+// EffectSizeTest reports whether the effect is at least theta: the
+// "θcc ≤ Cohen's d_cc" criterion complementing the Poisson significance
+// test in cluster-core generation.
+func EffectSizeTest(observed, expected, theta float64) bool {
+	return CohenD(observed, expected) >= theta
+}
+
+// --- Order statistics ---------------------------------------------------------
+
+// Median returns the sample median of xs. It sorts a copy; the input is not
+// modified. It panics on empty input.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: median of empty sample")
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return medianSorted(cp)
+}
+
+// MedianInPlace sorts xs and returns the median, avoiding the copy that
+// Median makes. It panics on empty input.
+func MedianInPlace(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: median of empty sample")
+	}
+	sort.Float64s(xs)
+	return medianSorted(xs)
+}
+
+func medianSorted(xs []float64) float64 {
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+// IQR returns the interquartile range Q3−Q1 of xs using linear interpolation
+// between order statistics (type-7 quantiles). It panics on empty input.
+func IQR(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: IQR of empty sample")
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return quantileSorted(cp, 0.75) - quantileSorted(cp, 0.25)
+}
+
+// Quantile returns the p-quantile (type 7) of xs for p in [0,1].
+func Quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: quantile of empty sample")
+	}
+	if p < 0 || p > 1 {
+		panic("stats: quantile requires p in [0,1]")
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return quantileSorted(cp, p)
+}
+
+func quantileSorted(xs []float64, p float64) float64 {
+	n := len(xs)
+	if n == 1 {
+		return xs[0]
+	}
+	h := p * float64(n-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= n {
+		return xs[n-1]
+	}
+	frac := h - float64(lo)
+	return xs[lo]*(1-frac) + xs[hi]*frac
+}
+
+// --- Histogram bin-count rules -------------------------------------------------
+
+// SturgesBins returns ⌈1 + log₂ n⌉, the rule used by the original P3C. The
+// paper shows it oversmooths for large n (§4.1.1).
+func SturgesBins(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return int(math.Ceil(1 + math.Log2(float64(n))))
+}
+
+// FreedmanDiaconisBins returns the bin count implied by the
+// Freedman–Diaconis rule, bin size = 2·IQR·n^(−1/3), on data spanning
+// dataRange. P3C+ assumes each attribute is uniform on [0,1] so that
+// IQR = 1/2 and dataRange = 1 (§4.1.1); pass iqr = 0.5, dataRange = 1 for
+// that behaviour.
+func FreedmanDiaconisBins(n int, iqr, dataRange float64) int {
+	if n <= 1 || iqr <= 0 || dataRange <= 0 {
+		return 1
+	}
+	width := 2 * iqr * math.Pow(float64(n), -1.0/3.0)
+	bins := int(math.Ceil(dataRange / width))
+	if bins < 1 {
+		bins = 1
+	}
+	return bins
+}
+
+// FreedmanDiaconisBinsUniform applies the paper's simplification IQR = 1/2 on
+// normalized [0,1] attributes: bin size = n^(−1/3), i.e. ⌈n^(1/3)⌉ bins.
+func FreedmanDiaconisBinsUniform(n int) int {
+	return FreedmanDiaconisBins(n, 0.5, 1)
+}

@@ -1,0 +1,82 @@
+package p3cmr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPipelineInvariants is a property test over random generator
+// configurations: whatever the data looks like, every pipeline output must
+// satisfy the structural invariants a downstream consumer relies on.
+func TestPipelineInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 500 + rng.Intn(1500)
+		dim := 6 + rng.Intn(10)
+		k := 1 + rng.Intn(3)
+		noise := []float64{0, 0.05, 0.1, 0.2}[rng.Intn(4)]
+		data, _, err := GenerateSynthetic(SyntheticConfig{
+			N: n, Dim: dim, Clusters: k, NoiseFraction: noise, Seed: seed,
+		})
+		if err != nil {
+			t.Logf("seed %d: generate: %v", seed, err)
+			return false
+		}
+		algo := []Algorithm{P3CPlusMRLight, P3CPlusMR}[rng.Intn(2)]
+		res, err := Run(data, Config{Algorithm: algo})
+		if err != nil {
+			t.Logf("seed %d: run: %v", seed, err)
+			return false
+		}
+		// Labels cover every point and stay in range.
+		if len(res.Labels) != n {
+			t.Logf("seed %d: labels %d != n %d", seed, len(res.Labels), n)
+			return false
+		}
+		for _, l := range res.Labels {
+			if l < -1 || l >= len(res.Clusters) {
+				t.Logf("seed %d: label %d out of range", seed, l)
+				return false
+			}
+		}
+		// Clusters and signatures correspond; intervals are sane.
+		if len(res.Clusters) != len(res.Signatures) {
+			t.Logf("seed %d: clusters/signatures mismatch", seed)
+			return false
+		}
+		for ci, c := range res.Clusters {
+			for _, o := range c.Objects {
+				if o < 0 || o >= n {
+					t.Logf("seed %d: object %d out of range", seed, o)
+					return false
+				}
+			}
+			for _, a := range c.Attrs {
+				if a < 0 || a >= dim {
+					t.Logf("seed %d: attr %d out of range", seed, a)
+					return false
+				}
+			}
+			for _, iv := range res.Signatures[ci].Intervals {
+				if iv.Lo > iv.Hi || iv.Lo < 0 || iv.Hi > 1 {
+					t.Logf("seed %d: interval %v out of range", seed, iv)
+					return false
+				}
+			}
+		}
+		// The evaluation view must construct cleanly.
+		if _, err := FoundClustering(res, data); err != nil {
+			t.Logf("seed %d: evaluation: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 12}
+	if testing.Short() {
+		cfg.MaxCount = 3
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,93 @@
+package p3cmr
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"p3cmr/internal/signature"
+)
+
+// jsonResult is the stable JSON shape of a clustering result, designed for
+// downstream tooling: one record per cluster with its tightened interval
+// signature, member count and members, plus run metadata.
+type jsonResult struct {
+	Algorithm        string        `json:"algorithm"`
+	Jobs             int           `json:"mapreduce_jobs"`
+	SimulatedSeconds float64       `json:"simulated_seconds,omitempty"`
+	Clusters         []jsonCluster `json:"clusters"`
+	Outliers         int           `json:"outliers"`
+}
+
+type jsonCluster struct {
+	ID        int            `json:"id"`
+	Size      int            `json:"size"`
+	Attrs     []int          `json:"attributes"`
+	Intervals []jsonInterval `json:"intervals"`
+	Members   []int          `json:"members,omitempty"`
+}
+
+type jsonInterval struct {
+	Attr int     `json:"attr"`
+	Lo   float64 `json:"lo"`
+	Hi   float64 `json:"hi"`
+}
+
+// WriteJSON serializes the result. When includeMembers is false the
+// (potentially huge) member lists are omitted and only sizes are kept.
+func (r *Result) WriteJSON(w io.Writer, algorithm Algorithm, includeMembers bool) error {
+	out := jsonResult{
+		Algorithm:        algorithm.String(),
+		Jobs:             r.Jobs,
+		SimulatedSeconds: r.SimulatedSeconds,
+	}
+	for _, l := range r.Labels {
+		if l < 0 {
+			out.Outliers++
+		}
+	}
+	for i, c := range r.Clusters {
+		jc := jsonCluster{
+			ID:    i,
+			Size:  len(c.Objects),
+			Attrs: append([]int(nil), c.Attrs...),
+		}
+		if includeMembers {
+			jc.Members = append([]int(nil), c.Objects...)
+		}
+		if i < len(r.Signatures) {
+			for _, iv := range r.Signatures[i].Intervals {
+				jc.Intervals = append(jc.Intervals, jsonInterval{Attr: iv.Attr, Lo: iv.Lo, Hi: iv.Hi})
+			}
+		}
+		out.Clusters = append(out.Clusters, jc)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("p3cmr: encode result: %w", err)
+	}
+	return nil
+}
+
+// ReadJSONSignatures parses a result previously written by WriteJSON and
+// returns the cluster signatures, enabling round trips through tooling.
+func ReadJSONSignatures(r io.Reader) ([]signature.Signature, error) {
+	var in jsonResult
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("p3cmr: decode result: %w", err)
+	}
+	sigs := make([]signature.Signature, 0, len(in.Clusters))
+	for _, c := range in.Clusters {
+		ivs := make([]signature.Interval, 0, len(c.Intervals))
+		for _, iv := range c.Intervals {
+			ivs = append(ivs, signature.Interval{Attr: iv.Attr, Lo: iv.Lo, Hi: iv.Hi})
+		}
+		if len(ivs) > 0 {
+			sigs = append(sigs, signature.New(ivs...))
+		} else {
+			sigs = append(sigs, signature.Signature{})
+		}
+	}
+	return sigs, nil
+}

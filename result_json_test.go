@@ -1,0 +1,67 @@
+package p3cmr
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	data, _ := genAPITestData(t, 2000, 12)
+	res, err := Run(data, Config{Algorithm: P3CPlusMRLight})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf, P3CPlusMRLight, true); err != nil {
+		t.Fatal(err)
+	}
+	// Valid JSON with the expected top-level fields.
+	var generic map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &generic); err != nil {
+		t.Fatal(err)
+	}
+	if generic["algorithm"] != "MR (Light)" {
+		t.Errorf("algorithm = %v", generic["algorithm"])
+	}
+	sigs, err := ReadJSONSignatures(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigs) != len(res.Signatures) {
+		t.Fatalf("round trip lost signatures: %d vs %d", len(sigs), len(res.Signatures))
+	}
+	for i := range sigs {
+		if !sigs[i].Equal(res.Signatures[i]) {
+			t.Fatalf("signature %d differs after round trip", i)
+		}
+	}
+}
+
+func TestResultJSONWithoutMembers(t *testing.T) {
+	data, _ := genAPITestData(t, 1500, 13)
+	res, err := Run(data, Config{Algorithm: P3CPlusMRLight})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var with, without bytes.Buffer
+	if err := res.WriteJSON(&with, P3CPlusMRLight, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteJSON(&without, P3CPlusMRLight, false); err != nil {
+		t.Fatal(err)
+	}
+	if without.Len() >= with.Len() {
+		t.Error("member-free encoding not smaller")
+	}
+	if strings.Contains(without.String(), `"members"`) {
+		t.Error("members leaked into member-free encoding")
+	}
+}
+
+func TestReadJSONSignaturesBadInput(t *testing.T) {
+	if _, err := ReadJSONSignatures(strings.NewReader("{")); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+}

@@ -1,0 +1,52 @@
+package p3cmr
+
+import "testing"
+
+// TestSmokeLight drives the whole Light pipeline on a small synthetic data
+// set and checks that the hidden clusters are recovered with high quality.
+func TestSmokeLight(t *testing.T) {
+	data, truth, err := GenerateSynthetic(SyntheticConfig{
+		N: 5000, Dim: 20, Clusters: 3, NoiseFraction: 0.1, Seed: 42, Overlap: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(data, Config{Algorithm: P3CPlusMRLight})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cores=%d clusters=%d jobs=%d", len(res.Core.Cores), len(res.Clusters), res.Jobs)
+	for i, s := range res.Core.Cores {
+		t.Logf("core %d: %v supp=%d", i, s, res.Core.CoreSupports[i])
+	}
+	e4sc := E4SCAgainstTruth(res, data, truth)
+	t.Logf("E4SC=%.3f", e4sc)
+	if len(res.Clusters) != 3 {
+		t.Errorf("found %d clusters, want 3", len(res.Clusters))
+	}
+	if e4sc < 0.7 {
+		t.Errorf("E4SC=%.3f too low", e4sc)
+	}
+}
+
+// TestSmokeFull drives the full P3C+-MR pipeline (EM + MVB outliers).
+func TestSmokeFull(t *testing.T) {
+	data, truth, err := GenerateSynthetic(SyntheticConfig{
+		N: 3000, Dim: 15, Clusters: 3, NoiseFraction: 0.05, Seed: 7, Overlap: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(data, Config{Algorithm: P3CPlusMR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e4sc := E4SCAgainstTruth(res, data, truth)
+	t.Logf("clusters=%d jobs=%d EM=%d E4SC=%.3f", len(res.Clusters), res.Jobs, res.Core.Stats.EMIterations, e4sc)
+	if len(res.Clusters) != 3 {
+		t.Errorf("found %d clusters, want 3", len(res.Clusters))
+	}
+	if e4sc < 0.5 {
+		t.Errorf("E4SC=%.3f too low", e4sc)
+	}
+}
