@@ -1,0 +1,25 @@
+# Build/test entry points. `make ci` is the full PR gate: vet, build, the
+# whole test suite, the race detector over the engine's concurrent merge
+# path, and one pass of the engine micro-benchmarks (compile + smoke, not
+# timing).
+
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+ci: vet build test race bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x -benchmem ./internal/mr/

@@ -108,18 +108,13 @@ func TestFullPipelineDeterministic(t *testing.T) {
 	if len(a.Cores) != len(b.Cores) {
 		t.Fatalf("cores differ: %d vs %d", len(a.Cores), len(b.Cores))
 	}
-	// EM reduces sum split contributions in shuffle order; the reducer
-	// iterates sorted keys but values arrive in nondeterministic order, so
-	// floating-point sums may differ in the last ulps. Labels, which
-	// threshold those sums, are overwhelmingly stable; tolerate a handful
-	// of boundary flips.
-	diff := 0
+	// The engine merges map outputs in split order, so EM's floating-point
+	// sums see values in a deterministic sequence at any Parallelism and
+	// labels must match exactly — no ulp tolerance needed since the
+	// partitioned-buffer shuffle replaced completion-order collection.
 	for i := range a.Labels {
 		if a.Labels[i] != b.Labels[i] {
-			diff++
+			t.Fatalf("label %d differs across parallelism (%d vs %d)", i, a.Labels[i], b.Labels[i])
 		}
-	}
-	if diff > len(a.Labels)/100 {
-		t.Fatalf("%d/%d labels differ across parallelism", diff, len(a.Labels))
 	}
 }

@@ -21,8 +21,11 @@ func histogramJob(engine *mr.Engine, splits []*mr.Split, dim, bins int) ([]*hist
 			return &histMapper{dim: dim, bins: bins}
 		},
 		Reducer: mr.ReducerFunc(func(ctx *mr.TaskContext, key string, values []any) error {
-			agg := make([]int64, bins)
-			for _, v := range values {
+			// Fold into the first partial histogram in place: reduce tasks
+			// run exactly once (only map attempts retry) and shuffle values
+			// are exclusively owned by the reducer, so no copy is needed.
+			agg := values[0].([]int64)
+			for _, v := range values[1:] {
 				for i, c := range v.([]int64) {
 					agg[i] += c
 				}
@@ -79,6 +82,24 @@ func (m *histMapper) Cleanup(ctx *mr.TaskContext) error {
 	return nil
 }
 
+// sumVectorsReducer element-wise sums []int64 partials, folding into the
+// first value's buffer in place — the engine's shuffle hands the reducer
+// exclusive ownership of its values, and reduce tasks are never retried,
+// so the allocation per key is unnecessary. Shared by the support-counting
+// and redundancy-filter jobs, whose reduce sides are identical merges.
+func sumVectorsReducer() mr.Reducer {
+	return mr.ReducerFunc(func(ctx *mr.TaskContext, key string, values []any) error {
+		agg := values[0].([]int64)
+		for _, v := range values[1:] {
+			for i, c := range v.([]int64) {
+				agg[i] += c
+			}
+		}
+		ctx.Emit(key, agg)
+		return nil
+	})
+}
+
 // --- Support counting job (§5.3, "Prove Candidates") ------------------------------
 
 // countSupports measures the support of every signature with one MR job
@@ -96,20 +117,7 @@ func countSupports(engine *mr.Engine, splits []*mr.Split, sigs []signature.Signa
 		NewMapper: func() mr.Mapper {
 			return &supportMapper{}
 		},
-		Reducer: mr.ReducerFunc(func(ctx *mr.TaskContext, key string, values []any) error {
-			var agg []int64
-			for _, v := range values {
-				counts := v.([]int64)
-				if agg == nil {
-					agg = make([]int64, len(counts))
-				}
-				for i, c := range counts {
-					agg[i] += c
-				}
-			}
-			ctx.Emit(key, agg)
-			return nil
-		}),
+		Reducer: sumVectorsReducer(),
 	}
 	out, err := engine.Run(job)
 	if err != nil {
@@ -236,20 +244,7 @@ func uncoveredCounts(engine *mr.Engine, splits []*mr.Split, sigs []signature.Sig
 		NewMapper: func() mr.Mapper {
 			return &uncoveredMapper{}
 		},
-		Reducer: mr.ReducerFunc(func(ctx *mr.TaskContext, key string, values []any) error {
-			var agg []int64
-			for _, v := range values {
-				counts := v.([]int64)
-				if agg == nil {
-					agg = make([]int64, len(counts))
-				}
-				for i, c := range counts {
-					agg[i] += c
-				}
-			}
-			ctx.Emit(key, agg)
-			return nil
-		}),
+		Reducer: sumVectorsReducer(),
 	}
 	out, err := engine.Run(job)
 	if err != nil {

@@ -1,0 +1,175 @@
+package mr
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Micro-benchmarks for the engine's hot paths. The four shapes mirror the
+// traffic the P3C+-MR pipeline actually generates:
+//
+//   - MapHeavy: per-record compute with one emit per task (histogram-style
+//     jobs — §5.1, §5.3 — where mappers accumulate locally and emit in
+//     Cleanup). Measures task scheduling + barrier overhead.
+//   - ShuffleHeavy: one emit per record across many keys (EM refinement
+//     style, §5.4). Measures partition + collection + grouping cost.
+//   - Combiner{Off,On}: word-count shape with and without map-side folding.
+//     Measures combineBucket grouping cost and shuffle-volume accounting.
+//   - WideKey: shuffle-heavy with ~64-byte keys. Measures the per-byte cost
+//     of partitioning and sort-then-scan grouping.
+//
+// Run with: go test -bench=. -benchmem ./internal/mr/
+const (
+	benchRows   = 20000
+	benchDim    = 8
+	benchSplits = 16
+	benchPar    = 4
+)
+
+func benchMakeSplits(n, dim, numSplits int) []*Split {
+	rows := make([]float64, n*dim)
+	for i := range rows {
+		rows[i] = float64(i%97) * 0.5
+	}
+	splits := make([]*Split, 0, numSplits)
+	base := n / numSplits
+	rem := n % numSplits
+	off := 0
+	for s := 0; s < numSplits; s++ {
+		sz := base
+		if s < rem {
+			sz++
+		}
+		splits = append(splits, &Split{ID: s, Offset: off, Dim: dim, Rows: rows[off*dim : (off+sz)*dim]})
+		off += sz
+	}
+	return splits
+}
+
+// benchKeys precomputes a key table so fmt allocations never pollute the
+// engine measurement.
+func benchKeys(n int, width int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		k := fmt.Sprintf("k%04d", i)
+		if pad := width - len(k); pad > 0 {
+			k += strings.Repeat("x", pad)
+		}
+		keys[i] = k
+	}
+	return keys
+}
+
+func benchSumReducer() Reducer {
+	return ReducerFunc(func(ctx *TaskContext, key string, values []any) error {
+		var s float64
+		for _, v := range values {
+			s += v.(float64)
+		}
+		ctx.Emit(key, s)
+		return nil
+	})
+}
+
+func BenchmarkMapHeavy(b *testing.B) {
+	splits := benchMakeSplits(benchRows, benchDim, benchSplits)
+	engine := NewEngine(Config{Parallelism: benchPar, NumReducers: 4})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		job := &Job{
+			Name:      "bench-map-heavy",
+			Splits:    splits,
+			NewMapper: func() Mapper { return &benchSumTaskMapper{} },
+			Reducer:   benchSumReducer(),
+		}
+		out, err := engine.Run(job)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out.Pairs) != 1 {
+			b.Fatalf("output = %d pairs", len(out.Pairs))
+		}
+	}
+}
+
+type benchSumTaskMapper struct{ s float64 }
+
+func (m *benchSumTaskMapper) Setup(*TaskContext) error { return nil }
+func (m *benchSumTaskMapper) Map(ctx *TaskContext, global int, row []float64) error {
+	for _, v := range row {
+		m.s += v * v
+	}
+	return nil
+}
+func (m *benchSumTaskMapper) Cleanup(ctx *TaskContext) error {
+	ctx.Emit("sum", m.s)
+	return nil
+}
+
+func benchShuffle(b *testing.B, keys []string, combiner Combiner) {
+	splits := benchMakeSplits(benchRows, benchDim, benchSplits)
+	engine := NewEngine(Config{Parallelism: benchPar, NumReducers: 4})
+	// Pre-boxed values: interface boxing of a fresh float64 per emit is a
+	// mapper-side cost, and folding it in would mask the engine's own
+	// allocation behaviour (the thing under test).
+	vals := make([]any, len(keys))
+	for i := range vals {
+		vals[i] = float64(i%13) * 0.25
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		job := &Job{
+			Name:   "bench-shuffle",
+			Splits: splits,
+			Mapper: MapperFunc(func(ctx *TaskContext, global int, row []float64) error {
+				ctx.Emit(keys[global%len(keys)], vals[global%len(vals)])
+				return nil
+			}),
+			Reducer:  benchSumReducer(),
+			Combiner: combiner,
+		}
+		out, err := engine.Run(job)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out.Pairs) != len(keys) {
+			b.Fatalf("output = %d pairs, want %d", len(out.Pairs), len(keys))
+		}
+	}
+}
+
+func BenchmarkShuffleHeavy(b *testing.B) {
+	benchShuffle(b, benchKeys(512, 0), nil)
+}
+
+func BenchmarkCombinerOff(b *testing.B) {
+	benchShuffle(b, benchKeys(64, 0), nil)
+}
+
+func BenchmarkCombinerOn(b *testing.B) {
+	benchShuffle(b, benchKeys(64, 0), CombinerFunc(func(key string, values []any) ([]any, error) {
+		var s float64
+		for _, v := range values {
+			s += v.(float64)
+		}
+		return []any{s}, nil
+	}))
+}
+
+func BenchmarkWideKey(b *testing.B) {
+	benchShuffle(b, benchKeys(512, 64), nil)
+}
+
+// BenchmarkPartition isolates the key→reducer hash on a mix of key widths.
+func BenchmarkPartition(b *testing.B) {
+	keys := benchKeys(512, 0)
+	wide := benchKeys(512, 64)
+	b.ReportAllocs()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += partition(keys[i%len(keys)], 112)
+		sink += partition(wide[i%len(wide)], 112)
+	}
+	_ = sink
+}

@@ -57,6 +57,33 @@ func (m CostModel) Enabled() bool {
 		m.SecondsPerShuffleByte != 0 || m.SecondsPerReduceValue != 0
 }
 
+// approxValueBytes estimates the serialized size of a shuffle value for the
+// I/O accounting (charged inline at emit / combine time, so shuffle buffers
+// are traversed exactly once). It understands the value types the pipeline
+// actually ships; anything else is charged a flat 16 bytes.
+func approxValueBytes(v any) int64 {
+	switch x := v.(type) {
+	case nil:
+		return 0
+	case int:
+		return 8
+	case int64:
+		return 8
+	case float64:
+		return 8
+	case []float64:
+		return int64(8 * len(x))
+	case []int64:
+		return int64(8 * len(x))
+	case []uint64:
+		return int64(8 * len(x))
+	case string:
+		return int64(len(x))
+	default:
+		return 16
+	}
+}
+
 // jobSeconds computes the modeled cost of one finished job.
 func (m CostModel) jobSeconds(job *Job, c Counters, numReducers int) float64 {
 	if !m.Enabled() {

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
-	"sort"
 	"sync"
 )
 
@@ -33,9 +32,15 @@ type Config struct {
 }
 
 // Engine executes Jobs. It is safe for concurrent use by multiple
-// goroutines; each Run is independent.
+// goroutines; each Run is independent, but all Runs share one task
+// semaphore, so Config.Parallelism is a true engine-wide cap on in-flight
+// tasks even when several jobs execute concurrently (a Hadoop cluster's
+// slot count, not a per-job budget).
 type Engine struct {
 	cfg Config
+	// sem is the engine-wide counting semaphore: every map and reduce task
+	// of every concurrent Run holds one slot while executing.
+	sem chan struct{}
 	// TotalSimulated accumulates simulated seconds across all jobs run on
 	// this engine, so a pipeline can report an end-to-end modeled runtime.
 	mu             sync.Mutex
@@ -67,7 +72,7 @@ func NewEngine(cfg Config) *Engine {
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = 4
 	}
-	return &Engine{cfg: cfg}
+	return &Engine{cfg: cfg, sem: make(chan struct{}, cfg.Parallelism)}
 }
 
 // Default returns an engine with library defaults, suitable for tests and
@@ -126,49 +131,66 @@ func (e *Engine) Run(job *Job) (*Output, error) {
 		numReducers = e.cfg.NumReducers
 	}
 	mapOnly := job.Reducer == nil
-
-	var (
-		mu       sync.Mutex
-		counters Counters
-		// buckets[r] collects shuffle pairs destined for reducer r; for
-		// map-only jobs bucket 0 collects the job output directly.
-		buckets [][]Pair
-	)
 	nb := numReducers
 	if mapOnly {
 		nb = 1
 	}
-	buckets = make([][]Pair, nb)
 
 	// --- Map phase -----------------------------------------------------------
-	sem := make(chan struct{}, e.cfg.Parallelism)
+	// Lock-free collection: every map task owns one slot of mapOuts /
+	// mapCounters (single writer per slot, synchronized by wg.Wait's
+	// happens-before edge), so the shuffle needs no global mutex. Task i's
+	// slot holds its output pre-partitioned into per-reducer buffers.
+	mapOuts := make([][][]Pair, len(job.Splits))
+	mapCounters := make([]Counters, len(job.Splits))
 	var wg sync.WaitGroup
 	var firstErr error
 	var errOnce sync.Once
 	setErr := func(err error) { errOnce.Do(func() { firstErr = err }) }
 
-	for _, split := range job.Splits {
+	for i, split := range job.Splits {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(split *Split) {
+		e.sem <- struct{}{}
+		go func(i int, split *Split) {
 			defer wg.Done()
-			defer func() { <-sem }()
+			defer func() { <-e.sem }()
 			out, c, err := e.runMapTask(job, split, mapOnly, numReducers)
 			if err != nil {
 				setErr(fmt.Errorf("mr: job %q map task %d: %w", job.Name, split.ID, err))
 				return
 			}
-			mu.Lock()
-			counters.Add(c)
-			for r, pairs := range out {
-				buckets[r] = append(buckets[r], pairs...)
-			}
-			mu.Unlock()
-		}(split)
+			mapOuts[i] = out
+			mapCounters[i] = c
+		}(i, split)
 	}
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+
+	var counters Counters
+	for i := range mapCounters {
+		counters.Add(mapCounters[i])
+	}
+
+	// Merge the per-task buffers into one contiguous run per reducer, in
+	// split order: value order within a key is therefore a deterministic
+	// function of the split layout, independent of Parallelism and of task
+	// completion order.
+	buckets := make([][]Pair, nb)
+	for r := 0; r < nb; r++ {
+		total := 0
+		for i := range mapOuts {
+			total += len(mapOuts[i][r])
+		}
+		if total == 0 {
+			continue
+		}
+		merged := make([]Pair, 0, total)
+		for i := range mapOuts {
+			merged = append(merged, mapOuts[i][r]...)
+		}
+		buckets[r] = merged
 	}
 
 	var outPairs []Pair
@@ -177,31 +199,42 @@ func (e *Engine) Run(job *Job) (*Output, error) {
 		counters.OutputRecords = int64(len(outPairs))
 	} else {
 		// --- Shuffle + reduce phase ------------------------------------------
-		var rmu sync.Mutex
+		// Same single-writer-per-slot scheme: reducer r writes redOuts[r],
+		// and the final concatenation in reducer order keeps job output
+		// deterministic without a collection mutex.
+		redOuts := make([][]Pair, numReducers)
+		redCounters := make([]Counters, numReducers)
 		var rwg sync.WaitGroup
 		for r := 0; r < numReducers; r++ {
 			if len(buckets[r]) == 0 {
 				continue
 			}
 			rwg.Add(1)
-			sem <- struct{}{}
+			e.sem <- struct{}{}
 			go func(r int, pairs []Pair) {
 				defer rwg.Done()
-				defer func() { <-sem }()
+				defer func() { <-e.sem }()
 				pout, c, err := e.runReduceTask(job, r, pairs)
 				if err != nil {
 					setErr(fmt.Errorf("mr: job %q reduce task %d: %w", job.Name, r, err))
 					return
 				}
-				rmu.Lock()
-				counters.Add(c)
-				outPairs = append(outPairs, pout...)
-				rmu.Unlock()
+				redOuts[r] = pout
+				redCounters[r] = c
 			}(r, buckets[r])
 		}
 		rwg.Wait()
 		if firstErr != nil {
 			return nil, firstErr
+		}
+		total := 0
+		for r := range redOuts {
+			counters.Add(redCounters[r])
+			total += len(redOuts[r])
+		}
+		outPairs = make([]Pair, 0, total)
+		for r := range redOuts {
+			outPairs = append(outPairs, redOuts[r]...)
 		}
 		counters.OutputRecords = int64(len(outPairs))
 	}
@@ -278,6 +311,10 @@ func (e *Engine) tryMapTask(job *Job, split *Split, mapOnly bool, numReducers, a
 	if job.NewMapper != nil {
 		mapper = job.NewMapper()
 	}
+	// Shuffle accounting is folded into emit so pairs are traversed once;
+	// with a combiner the charge moves to combineBucket instead, because
+	// only post-combine pairs cross the (modeled) network.
+	chargeOnEmit := mapOnly || job.Combiner == nil
 	ctx := &TaskContext{
 		JobName: job.Name,
 		TaskID:  split.ID,
@@ -285,11 +322,14 @@ func (e *Engine) tryMapTask(job *Job, split *Split, mapOnly bool, numReducers, a
 		cache:   job.Cache,
 		emit: func(p Pair) {
 			c.MapOutputRecords++
-			if mapOnly {
-				out[0] = append(out[0], p)
-			} else {
-				out[partition(p.Key, numReducers)] = append(out[partition(p.Key, numReducers)], p)
+			if chargeOnEmit {
+				c.ShuffledBytes += int64(len(p.Key)) + approxValueBytes(p.Value)
 			}
+			r := 0
+			if !mapOnly {
+				r = partition(p.Key, numReducers)
+			}
+			out[r] = append(out[r], p)
 		},
 	}
 	if err := mapper.Setup(ctx); err != nil {
@@ -321,55 +361,44 @@ func (e *Engine) tryMapTask(job *Job, split *Split, mapOnly bool, numReducers, a
 			out[r] = combined
 		}
 	}
-	for r := range out {
-		for _, p := range out[r] {
-			c.ShuffledBytes += int64(len(p.Key)) + approxValueBytes(p.Value)
-		}
-	}
 	return out, c, nil
 }
 
+// combineBucket folds one reducer-bound buffer through the combiner via
+// the stable counting group — no map[string][]any staging. It also charges
+// ShuffledBytes for the surviving pairs (the combiner's whole point is that
+// only its output crosses the network).
 func combineBucket(cb Combiner, pairs []Pair, c *Counters) ([]Pair, error) {
 	if len(pairs) == 0 {
 		return pairs, nil
 	}
-	grouped := make(map[string][]any)
-	order := make([]string, 0, 8)
-	for _, p := range pairs {
-		if _, ok := grouped[p.Key]; !ok {
-			order = append(order, p.Key)
-		}
-		grouped[p.Key] = append(grouped[p.Key], p.Value)
-		c.CombineInput++
-	}
-	var out []Pair
-	for _, k := range order {
-		vs, err := cb.Combine(k, grouped[k])
+	c.CombineInput += int64(len(pairs))
+	out := make([]Pair, 0, len(pairs))
+	err := groupSorted(pairs, func(k string, values []any) error {
+		vs, err := cb.Combine(k, values)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, v := range vs {
 			out = append(out, Pair{Key: k, Value: v})
 			c.CombineOutput++
+			c.ShuffledBytes += int64(len(k)) + approxValueBytes(v)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // runReduceTask groups a partition's pairs by key (sorted, as Hadoop
-// guarantees) and invokes the reducer.
+// guarantees) and invokes the reducer. Grouping is the stable counting
+// group of groupSorted: no map[string][]any is built, the value slices of
+// all keys share one backing array, and stability keeps value order
+// deterministic (map-task order).
 func (e *Engine) runReduceTask(job *Job, taskID int, pairs []Pair) ([]Pair, Counters, error) {
 	var c Counters
-	grouped := make(map[string][]any)
-	for _, p := range pairs {
-		grouped[p.Key] = append(grouped[p.Key], p.Value)
-	}
-	keys := make([]string, 0, len(grouped))
-	for k := range grouped {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-
 	var out []Pair
 	ctx := &TaskContext{
 		JobName: job.Name,
@@ -377,38 +406,13 @@ func (e *Engine) runReduceTask(job *Job, taskID int, pairs []Pair) ([]Pair, Coun
 		cache:   job.Cache,
 		emit:    func(p Pair) { out = append(out, p) },
 	}
-	for _, k := range keys {
+	err := groupSorted(pairs, func(k string, values []any) error {
 		c.ReduceInputKeys++
-		c.ReduceInputVals += int64(len(grouped[k]))
-		if err := job.Reducer.Reduce(ctx, k, grouped[k]); err != nil {
-			return nil, c, err
-		}
+		c.ReduceInputVals += int64(len(values))
+		return job.Reducer.Reduce(ctx, k, values)
+	})
+	if err != nil {
+		return nil, c, err
 	}
 	return out, c, nil
-}
-
-// approxValueBytes estimates the serialized size of a shuffle value for the
-// I/O accounting. It understands the value types the pipeline actually
-// ships; anything else is charged a flat 16 bytes.
-func approxValueBytes(v any) int64 {
-	switch x := v.(type) {
-	case nil:
-		return 0
-	case int:
-		return 8
-	case int64:
-		return 8
-	case float64:
-		return 8
-	case []float64:
-		return int64(8 * len(x))
-	case []int64:
-		return int64(8 * len(x))
-	case []uint64:
-		return int64(8 * len(x))
-	case string:
-		return int64(len(x))
-	default:
-		return 16
-	}
 }

@@ -1,0 +1,65 @@
+package mr
+
+import "sort"
+
+// Group is one reduce key with all of its values, in the deterministic
+// order the engine's shuffle delivers them (map-task order, then emission
+// order within a task).
+type Group struct {
+	Key    string
+	Values []any
+}
+
+// groupSorted walks pairs grouped by key in ascending key order — the
+// Hadoop reduce contract — calling fn once per key. It is a stable counting
+// group: one pass counts values per key, only the *unique* keys are sorted,
+// and a final placement pass scatters values into a single shared backing
+// array. Shuffle buffers typically carry few distinct keys over many pairs,
+// so sorting keys instead of pairs avoids the duplicate-heavy rotations a
+// stable pair sort would pay, and the one backing array replaces the
+// per-key append growth chains of a map[string][]any.
+//
+// pairs is not modified. Value order within a key follows pair order, so a
+// deterministic input order yields a deterministic value sequence. Each
+// callback's slice is capacity-clamped (vals[lo:hi:hi]) so an appending
+// callback cannot clobber its neighbour's values.
+func groupSorted(pairs []Pair, fn func(key string, values []any) error) error {
+	if len(pairs) == 0 {
+		return nil
+	}
+	counts := make(map[string]int, 64)
+	for i := range pairs {
+		counts[pairs[i].Key]++
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	// Convert counts into running placement offsets (in sorted key order),
+	// remembering each key's run length in sizes.
+	sizes := make([]int, len(keys))
+	off := 0
+	for i, k := range keys {
+		sizes[i] = counts[k]
+		counts[k] = off
+		off += sizes[i]
+	}
+	vals := make([]any, len(pairs))
+	for i := range pairs {
+		o := counts[pairs[i].Key]
+		vals[o] = pairs[i].Value
+		counts[pairs[i].Key] = o + 1
+	}
+
+	lo := 0
+	for i, k := range keys {
+		hi := lo + sizes[i]
+		if err := fn(k, vals[lo:hi:hi]); err != nil {
+			return err
+		}
+		lo = hi
+	}
+	return nil
+}

@@ -16,7 +16,6 @@ package mr
 
 import (
 	"fmt"
-	"hash/fnv"
 )
 
 // Split is one input partition of a vector data set. Rows holds
@@ -128,8 +127,10 @@ type Job struct {
 
 // Output is the collected result of a job.
 type Output struct {
-	// Pairs holds reducer (or mapper, for map-only jobs) output in
-	// unspecified order.
+	// Pairs holds reducer (or mapper, for map-only jobs) output. Order is
+	// deterministic for a fixed split layout and reducer count: reducer
+	// outputs concatenate in partition order (map-only: split order),
+	// independent of Parallelism and task scheduling.
 	Pairs []Pair
 	// Counters are the accumulated job counters.
 	Counters Counters
@@ -138,13 +139,44 @@ type Output struct {
 	SimulatedSeconds float64
 }
 
-// Grouped returns the output pairs grouped by key.
+// Grouped returns the output pairs grouped by key. All value slices share
+// one backing array sized in a first counting pass, so the whole grouping
+// costs three allocations instead of one growth chain per key; each key's
+// slice is capacity-clamped so appending to it cannot clobber a neighbour.
 func (o *Output) Grouped() map[string][]any {
-	g := make(map[string][]any, len(o.Pairs))
+	counts := make(map[string]int, len(o.Pairs))
 	for _, p := range o.Pairs {
-		g[p.Key] = append(g[p.Key], p.Value)
+		counts[p.Key]++
+	}
+	backing := make([]any, len(o.Pairs))
+	next := 0
+	g := make(map[string][]any, len(counts))
+	for _, p := range o.Pairs {
+		s, ok := g[p.Key]
+		if !ok {
+			n := counts[p.Key]
+			s = backing[next : next : next+n]
+			next += n
+		}
+		g[p.Key] = append(s, p.Value)
 	}
 	return g
+}
+
+// Groups returns the output grouped by key in ascending key order, via the
+// engine's stable counting group — no per-key map[string][]any growth
+// chains. o.Pairs is left unmodified; value order within a key is
+// preserved.
+func (o *Output) Groups() []Group {
+	if len(o.Pairs) == 0 {
+		return nil
+	}
+	groups := make([]Group, 0, 8)
+	groupSorted(o.Pairs, func(k string, vs []any) error {
+		groups = append(groups, Group{Key: k, Values: vs})
+		return nil
+	})
+	return groups
 }
 
 // Single returns the value of the given key and ok=false when absent or
@@ -226,12 +258,24 @@ func (ctx *TaskContext) MustCache(name string) any {
 	return v
 }
 
-// partition assigns a key to one of n reduce partitions by FNV-1a hash.
+// FNV-1a 32-bit constants (FNV spec; must match hash/fnv so partition
+// assignments never move keys across an engine upgrade).
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// partition assigns a key to one of n reduce partitions by FNV-1a hash,
+// inlined over the string bytes: no hasher object and no []byte(key) copy
+// per pair. Bit-identical to hash/fnv.New32a (pinned by TestPartitionMatchesFNV).
 func partition(key string, n int) int {
 	if n <= 1 {
 		return 0
 	}
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return int(h.Sum32() % uint32(n))
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= fnvPrime32
+	}
+	return int(h % uint32(n))
 }
