@@ -1,13 +1,14 @@
 # Build/test entry points. `make ci` is the full PR gate: vet, build, the
-# whole test suite, the race detector over the engine's concurrent merge
-# path, and one pass of the engine micro-benchmarks (compile + smoke, not
-# timing).
+# whole test suite (with test-order shuffling so order dependence can't
+# creep in), the race detector over the engine's concurrent merge path, the
+# chaos/fault suite under -race, and one pass of the engine
+# micro-benchmarks (compile + smoke, not timing).
 
 GO ?= go
 
-.PHONY: ci vet build test race bench
+.PHONY: ci vet build test race bench chaos
 
-ci: vet build test race bench
+ci: vet build test race chaos bench
 
 vet:
 	$(GO) vet ./...
@@ -16,10 +17,17 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
 	$(GO) test -race ./...
+
+# The deterministic chaos harness: every Fault/Chaos test across the repo —
+# engine-level fault plans, the pipeline oracle in internal/core, and the
+# public-API JSON oracle — under the race detector, since fault injection
+# exercises the retry/cancellation paths concurrently.
+chaos:
+	$(GO) test -race -run 'Chaos|Fault' ./...
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x -benchmem ./internal/mr/

@@ -44,12 +44,12 @@ func main() {
 	fmt.Printf("read %d x %d points from %s\n", data.N(), data.Dim, csvPath)
 
 	// Stage 2: cluster with a tuned parameter set on an engine with fault
-	// injection — every task attempt fails with 20% probability and is
-	// retried, exactly as a lossy Hadoop cluster would behave.
+	// injection — every map, combine and reduce attempt fails with 20%
+	// probability and is retried, exactly as a lossy Hadoop cluster would
+	// behave.
 	engine := mr.NewEngine(mr.Config{
 		Parallelism: 4,
-		FailureRate: 0.2,
-		FailureSeed: 42,
+		Faults:      mr.UniformFaults(0.2, 42),
 		MaxAttempts: 6,
 	})
 	params := core.LightParams()

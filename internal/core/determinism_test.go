@@ -65,7 +65,7 @@ func TestPipelineSurvivesFaultInjection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	flaky := mr.NewEngine(mr.Config{FailureRate: 0.3, FailureSeed: 21, MaxAttempts: 12})
+	flaky := mr.NewEngine(mr.Config{Faults: mr.UniformFaults(0.3, 21), MaxAttempts: 12})
 	faulty, err := Run(flaky, data, params)
 	if err != nil {
 		t.Fatal(err)

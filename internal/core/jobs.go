@@ -20,19 +20,7 @@ func histogramJob(engine *mr.Engine, splits []*mr.Split, dim, bins int) ([]*hist
 		NewMapper: func() mr.Mapper {
 			return &histMapper{dim: dim, bins: bins}
 		},
-		Reducer: mr.ReducerFunc(func(ctx *mr.TaskContext, key string, values []any) error {
-			// Fold into the first partial histogram in place: reduce tasks
-			// run exactly once (only map attempts retry) and shuffle values
-			// are exclusively owned by the reducer, so no copy is needed.
-			agg := values[0].([]int64)
-			for _, v := range values[1:] {
-				for i, c := range v.([]int64) {
-					agg[i] += c
-				}
-			}
-			ctx.Emit(key, agg)
-			return nil
-		}),
+		Reducer: sumVectorsReducer(),
 	}
 	out, err := engine.Run(job)
 	if err != nil {
@@ -82,14 +70,18 @@ func (m *histMapper) Cleanup(ctx *mr.TaskContext) error {
 	return nil
 }
 
-// sumVectorsReducer element-wise sums []int64 partials, folding into the
-// first value's buffer in place — the engine's shuffle hands the reducer
-// exclusive ownership of its values, and reduce tasks are never retried,
-// so the allocation per key is unnecessary. Shared by the support-counting
-// and redundancy-filter jobs, whose reduce sides are identical merges.
+// sumVectorsReducer element-wise sums []int64 partials into a fresh
+// accumulator, leaving the shuffled values untouched: reduce attempts may
+// be retried under fault injection, and a retry re-reads the same shuffled
+// input, so folding into values[0] in place would double-count (the engine's
+// Reducer contract demands read-only values). Shared by the histogram,
+// support-counting and redundancy-filter jobs, whose reduce sides are
+// identical merges (Eq. 8).
 func sumVectorsReducer() mr.Reducer {
 	return mr.ReducerFunc(func(ctx *mr.TaskContext, key string, values []any) error {
-		agg := values[0].([]int64)
+		first := values[0].([]int64)
+		agg := make([]int64, len(first))
+		copy(agg, first)
 		for _, v := range values[1:] {
 			for i, c := range v.([]int64) {
 				agg[i] += c

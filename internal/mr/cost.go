@@ -84,8 +84,13 @@ func approxValueBytes(v any) int64 {
 	}
 }
 
-// jobSeconds computes the modeled cost of one finished job.
-func (m CostModel) jobSeconds(job *Job, c Counters, numReducers int) float64 {
+// jobSeconds computes the modeled cost of one finished job: the successful
+// work in c, plus the work of failed task attempts and the straggler delays
+// in fault. Re-executed attempts burn real cluster time even though their
+// output is discarded, so Figure-7-style runtime-shape experiments see
+// retries as slowdown — exactly as Hadoop's error tolerance behaves — while
+// the job's Counters stay an exact description of the committed computation.
+func (m CostModel) jobSeconds(job *Job, c Counters, fault faultCharge, numReducers int) float64 {
 	if !m.Enabled() {
 		return 0
 	}
@@ -100,13 +105,15 @@ func (m CostModel) jobSeconds(job *Job, c Counters, numReducers int) float64 {
 	if mapPar <= 0 {
 		mapPar = 1
 	}
-	s := m.JobStartupSeconds
-	s += m.SecondsPerMapRecord * float64(c.MapInputRecords) / float64(mapPar)
-	s += m.SecondsPerShuffleByte * float64(c.ShuffledBytes)
 	red := numReducers
 	if red <= 0 {
 		red = 1
 	}
-	s += m.SecondsPerReduceValue * float64(c.ReduceInputVals) / float64(red)
-	return s
+	charge := func(c Counters) float64 {
+		s := m.SecondsPerMapRecord * float64(c.MapInputRecords) / float64(mapPar)
+		s += m.SecondsPerShuffleByte * float64(c.ShuffledBytes)
+		s += m.SecondsPerReduceValue * float64(c.ReduceInputVals) / float64(red)
+		return s
+	}
+	return m.JobStartupSeconds + charge(c) + charge(fault.Wasted) + fault.Straggler
 }

@@ -3,7 +3,6 @@ package mr
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"runtime"
 	"sync"
 )
@@ -17,15 +16,16 @@ type Config struct {
 	// zero. The paper's cluster ran 112 reducers; locally this only affects
 	// the cost model and partitioning, not correctness.
 	NumReducers int
-	// MaxAttempts is the per-task retry budget (Hadoop default 4). Zero
-	// means 4.
+	// MaxAttempts is the per-task retry budget (Hadoop default 4), shared by
+	// map and reduce tasks. Zero means 4.
 	MaxAttempts int
-	// FailureRate injects a probability in [0,1) that any task attempt
-	// fails before producing output, to exercise retry semantics. The
-	// failures are pseudo-random but deterministic per (job, task, attempt).
-	FailureRate float64
-	// FailureSeed seeds the failure injection.
-	FailureSeed int64
+	// Faults, when non-nil, injects deterministic failures and simulated
+	// straggler delays into map, combine and reduce attempts. Injected
+	// failures are retried up to MaxAttempts; real task errors are not (a
+	// deterministic bug would fail every attempt anyway, and surfacing it
+	// fast keeps tests honest). Plans must be pure and concurrency-safe —
+	// see FaultPlan.
+	Faults FaultPlan
 	// Cost configures the simulated cluster cost model. Zero value disables
 	// simulation (SimulatedSeconds stays 0).
 	Cost CostModel
@@ -47,6 +47,7 @@ type Engine struct {
 	totalSimulated float64
 	jobsRun        int
 	totals         Counters
+	totalsWasted   Counters
 	perJob         map[string]*JobStats
 }
 
@@ -97,11 +98,22 @@ func (e *Engine) JobsRun() int {
 	return e.jobsRun
 }
 
-// TotalCounters returns counters accumulated across all jobs.
+// TotalCounters returns counters accumulated across all jobs. Only
+// successful attempts contribute: failed-attempt work is tracked separately
+// by TotalWasted, so these stay an exact description of the computation no
+// matter how many faults were injected.
 func (e *Engine) TotalCounters() Counters {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.totals
+}
+
+// TotalWasted returns the counters of failed task attempts accumulated
+// across all jobs — work the modeled cluster performed and threw away.
+func (e *Engine) TotalWasted() Counters {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.totalsWasted
 }
 
 // ResetAccounting zeroes the accumulated simulated time, job count and
@@ -112,14 +124,43 @@ func (e *Engine) ResetAccounting() {
 	e.totalSimulated = 0
 	e.jobsRun = 0
 	e.totals = Counters{}
+	e.totalsWasted = Counters{}
 	e.perJob = nil
 }
 
 // errInjectedFailure marks fault-injection failures so the retry loop can
-// distinguish them from real mapper errors (which are not retried: a
-// deterministic bug would fail every attempt anyway, and surfacing it fast
-// keeps tests honest).
+// distinguish them from real mapper/reducer errors (which are not retried).
 var errInjectedFailure = errors.New("mr: injected task failure")
+
+// errTaskCancelled marks a task attempt aborted because a sibling task of
+// the same Run failed permanently. It never becomes the job error — the
+// sibling's failure, recorded first, does.
+var errTaskCancelled = errors.New("mr: task cancelled by sibling failure")
+
+// faultCharge accumulates the modeled price of faults over one task's
+// attempt loop: the counters of failed attempts (work performed and thrown
+// away) and the simulated straggler delay across all attempts.
+type faultCharge struct {
+	Wasted    Counters
+	Straggler float64
+}
+
+// add folds another task's charge into f.
+func (f *faultCharge) add(o faultCharge) {
+	f.Wasted.Add(o.Wasted)
+	f.Straggler += o.Straggler
+}
+
+// cancelled reports (without blocking) whether the run's cancel channel is
+// closed.
+func cancelled(cancel <-chan struct{}) bool {
+	select {
+	case <-cancel:
+		return true
+	default:
+		return false
+	}
+}
 
 // Run executes the job and collects its output.
 func (e *Engine) Run(job *Job) (*Output, error) {
@@ -136,6 +177,20 @@ func (e *Engine) Run(job *Job) (*Output, error) {
 		nb = 1
 	}
 
+	// Run-scoped cooperative cancellation: the first permanent task failure
+	// closes cancelCh, and sibling tasks notice it between records, between
+	// attempts, and while queued on the semaphore — so a doomed job stops
+	// burning slots instead of limping to its own barrier (Hadoop kills
+	// sibling attempts the same way when a job fails).
+	cancelCh := make(chan struct{})
+	var cancelOnce sync.Once
+	var firstErr error
+	var errOnce sync.Once
+	setErr := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		cancelOnce.Do(func() { close(cancelCh) })
+	}
+
 	// --- Map phase -----------------------------------------------------------
 	// Lock-free collection: every map task owns one slot of mapOuts /
 	// mapCounters (single writer per slot, synchronized by wg.Wait's
@@ -143,20 +198,26 @@ func (e *Engine) Run(job *Job) (*Output, error) {
 	// slot holds its output pre-partitioned into per-reducer buffers.
 	mapOuts := make([][][]Pair, len(job.Splits))
 	mapCounters := make([]Counters, len(job.Splits))
+	mapFaults := make([]faultCharge, len(job.Splits))
 	var wg sync.WaitGroup
-	var firstErr error
-	var errOnce sync.Once
-	setErr := func(err error) { errOnce.Do(func() { firstErr = err }) }
 
+mapLaunch:
 	for i, split := range job.Splits {
+		select {
+		case <-cancelCh:
+			break mapLaunch
+		case e.sem <- struct{}{}:
+		}
 		wg.Add(1)
-		e.sem <- struct{}{}
 		go func(i int, split *Split) {
 			defer wg.Done()
 			defer func() { <-e.sem }()
-			out, c, err := e.runMapTask(job, split, mapOnly, numReducers)
+			out, c, fc, err := e.runMapTask(job, split, mapOnly, numReducers, cancelCh)
+			mapFaults[i] = fc
 			if err != nil {
-				setErr(fmt.Errorf("mr: job %q map task %d: %w", job.Name, split.ID, err))
+				if !errors.Is(err, errTaskCancelled) {
+					setErr(fmt.Errorf("mr: job %q map task %d: %w", job.Name, split.ID, err))
+				}
 				return
 			}
 			mapOuts[i] = out
@@ -169,8 +230,10 @@ func (e *Engine) Run(job *Job) (*Output, error) {
 	}
 
 	var counters Counters
+	var fault faultCharge
 	for i := range mapCounters {
 		counters.Add(mapCounters[i])
+		fault.add(mapFaults[i])
 	}
 
 	// Merge the per-task buffers into one contiguous run per reducer, in
@@ -201,22 +264,33 @@ func (e *Engine) Run(job *Job) (*Output, error) {
 		// --- Shuffle + reduce phase ------------------------------------------
 		// Same single-writer-per-slot scheme: reducer r writes redOuts[r],
 		// and the final concatenation in reducer order keeps job output
-		// deterministic without a collection mutex.
+		// deterministic without a collection mutex. Reduce tasks share the
+		// map tasks' retry budget and cancellation channel: a reduce attempt
+		// re-runs from its immutable shuffled bucket (see Reducer contract).
 		redOuts := make([][]Pair, numReducers)
 		redCounters := make([]Counters, numReducers)
+		redFaults := make([]faultCharge, numReducers)
 		var rwg sync.WaitGroup
+	redLaunch:
 		for r := 0; r < numReducers; r++ {
 			if len(buckets[r]) == 0 {
 				continue
 			}
+			select {
+			case <-cancelCh:
+				break redLaunch
+			case e.sem <- struct{}{}:
+			}
 			rwg.Add(1)
-			e.sem <- struct{}{}
 			go func(r int, pairs []Pair) {
 				defer rwg.Done()
 				defer func() { <-e.sem }()
-				pout, c, err := e.runReduceTask(job, r, pairs)
+				pout, c, fc, err := e.runReduceTask(job, r, pairs, cancelCh)
+				redFaults[r] = fc
 				if err != nil {
-					setErr(fmt.Errorf("mr: job %q reduce task %d: %w", job.Name, r, err))
+					if !errors.Is(err, errTaskCancelled) {
+						setErr(fmt.Errorf("mr: job %q reduce task %d: %w", job.Name, r, err))
+					}
 					return
 				}
 				redOuts[r] = pout
@@ -230,6 +304,7 @@ func (e *Engine) Run(job *Job) (*Output, error) {
 		total := 0
 		for r := range redOuts {
 			counters.Add(redCounters[r])
+			fault.add(redFaults[r])
 			total += len(redOuts[r])
 		}
 		outPairs = make([]Pair, 0, total)
@@ -239,12 +314,13 @@ func (e *Engine) Run(job *Job) (*Output, error) {
 		counters.OutputRecords = int64(len(outPairs))
 	}
 
-	out := &Output{Pairs: outPairs, Counters: counters}
-	out.SimulatedSeconds = e.cfg.Cost.jobSeconds(job, counters, numReducers)
+	out := &Output{Pairs: outPairs, Counters: counters, Wasted: fault.Wasted}
+	out.SimulatedSeconds = e.cfg.Cost.jobSeconds(job, counters, fault, numReducers)
 	e.mu.Lock()
 	e.totalSimulated += out.SimulatedSeconds
 	e.jobsRun++
 	e.totals.Add(counters)
+	e.totalsWasted.Add(fault.Wasted)
 	if e.perJob == nil {
 		e.perJob = make(map[string]*JobStats)
 	}
@@ -272,38 +348,60 @@ func (e *Engine) JobStatsByName() map[string]JobStats {
 	return out
 }
 
-// runMapTask executes one map task with retry on injected failures.
-func (e *Engine) runMapTask(job *Job, split *Split, mapOnly bool, numReducers int) ([][]Pair, Counters, error) {
+// runTaskAttempts drives one task's attempt loop, shared by map and reduce
+// tasks: injected failures are retried up to MaxAttempts with the failed
+// attempt's counters diverted into the fault charge (never the job
+// counters), real errors abort immediately, and the loop bails out between
+// attempts when the run is cancelled. try returns the attempt's output, its
+// counters, and its simulated straggler delay.
+func runTaskAttempts[T any](e *Engine, cancel <-chan struct{},
+	try func(attempt int) (T, Counters, float64, error)) (T, Counters, faultCharge, error) {
+	var zero T
+	var fc faultCharge
 	var lastErr error
 	var retries int64
 	for attempt := 0; attempt < e.cfg.MaxAttempts; attempt++ {
-		out, c, err := e.tryMapTask(job, split, mapOnly, numReducers, attempt)
+		if cancelled(cancel) {
+			return zero, Counters{}, fc, errTaskCancelled
+		}
+		out, c, straggler, err := try(attempt)
+		fc.Straggler += straggler
 		if err == nil {
 			c.TaskRetries = retries
-			return out, c, nil
+			return out, c, fc, nil
 		}
 		lastErr = err
 		if !errors.Is(err, errInjectedFailure) {
-			return nil, Counters{}, err
+			return zero, Counters{}, fc, err
 		}
+		fc.Wasted.Add(c)
 		retries++
 	}
-	return nil, Counters{}, fmt.Errorf("task failed after %d attempts: %w", e.cfg.MaxAttempts, lastErr)
+	return zero, Counters{}, fc, fmt.Errorf("task failed after %d attempts: %w", e.cfg.MaxAttempts, lastErr)
 }
 
-func (e *Engine) tryMapTask(job *Job, split *Split, mapOnly bool, numReducers, attempt int) ([][]Pair, Counters, error) {
+// runMapTask executes one map task with retry on injected failures.
+func (e *Engine) runMapTask(job *Job, split *Split, mapOnly bool, numReducers int, cancel <-chan struct{}) ([][]Pair, Counters, faultCharge, error) {
+	return runTaskAttempts(e, cancel, func(attempt int) ([][]Pair, Counters, float64, error) {
+		return e.tryMapTask(job, split, mapOnly, numReducers, attempt, cancel)
+	})
+}
+
+func (e *Engine) tryMapTask(job *Job, split *Split, mapOnly bool, numReducers, attempt int, cancel <-chan struct{}) ([][]Pair, Counters, float64, error) {
 	var c Counters
 	nb := numReducers
 	if mapOnly {
 		nb = 1
 	}
 	out := make([][]Pair, nb)
+	var straggler float64
 	failAt := -1
-	if e.cfg.FailureRate > 0 {
-		rng := rand.New(rand.NewSource(e.cfg.FailureSeed ^ int64(split.ID)<<20 ^ int64(attempt)))
-		if rng.Float64() < e.cfg.FailureRate {
-			// Fail midway through the split to exercise partial-output discard.
-			failAt = rng.Intn(split.NumRows() + 1)
+	if e.cfg.Faults != nil {
+		d := e.cfg.Faults.Decide(job.Name, PhaseMap, split.ID, attempt)
+		straggler = d.StragglerSeconds
+		if d.Fail {
+			// Fail partway through the split to exercise partial-output discard.
+			failAt = failIndex(d.FailFrac, split.NumRows())
 		}
 	}
 
@@ -333,35 +431,48 @@ func (e *Engine) tryMapTask(job *Job, split *Split, mapOnly bool, numReducers, a
 		},
 	}
 	if err := mapper.Setup(ctx); err != nil {
-		return nil, c, err
+		return nil, c, straggler, err
 	}
 	n := split.NumRows()
 	for i := 0; i < n; i++ {
 		if i == failAt {
-			return nil, c, errInjectedFailure
+			return nil, c, straggler, errInjectedFailure
+		}
+		// Sampled cancellation poll: cheap enough to leave the record loop's
+		// throughput alone, frequent enough that a cancelled task yields its
+		// slot within a few dozen records.
+		if i&63 == 0 && cancelled(cancel) {
+			return nil, c, straggler, errTaskCancelled
 		}
 		c.MapInputRecords++
 		if err := mapper.Map(ctx, split.Offset+i, split.Row(i)); err != nil {
-			return nil, c, err
+			return nil, c, straggler, err
 		}
 	}
 	if n == failAt {
-		return nil, c, errInjectedFailure
+		return nil, c, straggler, errInjectedFailure
 	}
 	if err := mapper.Cleanup(ctx); err != nil {
-		return nil, c, err
+		return nil, c, straggler, err
 	}
 
 	if job.Combiner != nil && !mapOnly {
+		if e.cfg.Faults != nil {
+			d := e.cfg.Faults.Decide(job.Name, PhaseCombine, split.ID, attempt)
+			straggler += d.StragglerSeconds
+			if d.Fail {
+				return nil, c, straggler, errInjectedFailure
+			}
+		}
 		for r := range out {
 			combined, err := combineBucket(job.Combiner, out[r], &c)
 			if err != nil {
-				return nil, c, err
+				return nil, c, straggler, err
 			}
 			out[r] = combined
 		}
 	}
-	return out, c, nil
+	return out, c, straggler, nil
 }
 
 // combineBucket folds one reducer-bound buffer through the combiner via
@@ -392,13 +503,32 @@ func combineBucket(cb Combiner, pairs []Pair, c *Counters) ([]Pair, error) {
 	return out, nil
 }
 
-// runReduceTask groups a partition's pairs by key (sorted, as Hadoop
+// runReduceTask executes one reduce task with the same retry loop as map
+// tasks: a failed attempt is re-run from its immutable shuffled bucket.
+func (e *Engine) runReduceTask(job *Job, taskID int, pairs []Pair, cancel <-chan struct{}) ([]Pair, Counters, faultCharge, error) {
+	return runTaskAttempts(e, cancel, func(attempt int) ([]Pair, Counters, float64, error) {
+		return e.tryReduceTask(job, taskID, pairs, attempt, cancel)
+	})
+}
+
+// tryReduceTask groups a partition's pairs by key (sorted, as Hadoop
 // guarantees) and invokes the reducer. Grouping is the stable counting
 // group of groupSorted: no map[string][]any is built, the value slices of
 // all keys share one backing array, and stability keeps value order
-// deterministic (map-task order).
-func (e *Engine) runReduceTask(job *Job, taskID int, pairs []Pair) ([]Pair, Counters, error) {
+// deterministic (map-task order). An injected failure aborts the key loop
+// at a plan-chosen position, discarding the attempt's partial output and
+// counters exactly like a dying Hadoop reduce attempt.
+func (e *Engine) tryReduceTask(job *Job, taskID int, pairs []Pair, attempt int, cancel <-chan struct{}) ([]Pair, Counters, float64, error) {
 	var c Counters
+	var straggler float64
+	failAt := -1 // threshold in consumed input pairs, -1 = never
+	if e.cfg.Faults != nil {
+		d := e.cfg.Faults.Decide(job.Name, PhaseReduce, taskID, attempt)
+		straggler = d.StragglerSeconds
+		if d.Fail {
+			failAt = failIndex(d.FailFrac, len(pairs))
+		}
+	}
 	var out []Pair
 	ctx := &TaskContext{
 		JobName: job.Name,
@@ -406,13 +536,26 @@ func (e *Engine) runReduceTask(job *Job, taskID int, pairs []Pair) ([]Pair, Coun
 		cache:   job.Cache,
 		emit:    func(p Pair) { out = append(out, p) },
 	}
+	consumed := 0
 	err := groupSorted(pairs, func(k string, values []any) error {
+		if failAt >= 0 && consumed >= failAt {
+			return errInjectedFailure
+		}
+		if cancelled(cancel) {
+			return errTaskCancelled
+		}
+		consumed += len(values)
 		c.ReduceInputKeys++
 		c.ReduceInputVals += int64(len(values))
 		return job.Reducer.Reduce(ctx, k, values)
 	})
 	if err != nil {
-		return nil, c, err
+		return nil, c, straggler, err
 	}
-	return out, c, nil
+	if failAt >= 0 && consumed >= failAt {
+		// FailFrac ≈ 1: the attempt dies after its last key, before the
+		// output is committed.
+		return nil, c, straggler, errInjectedFailure
+	}
+	return out, c, straggler, nil
 }

@@ -239,7 +239,7 @@ func TestNoMapperRejected(t *testing.T) {
 // TestFaultInjectionRetrySucceeds: with a moderate failure rate and fresh
 // mappers per attempt, the job must still produce exact results.
 func TestFaultInjectionRetrySucceeds(t *testing.T) {
-	engine := NewEngine(Config{FailureRate: 0.5, FailureSeed: 99, MaxAttempts: 10})
+	engine := NewEngine(Config{Faults: UniformFaults(0.5, 99), MaxAttempts: 10})
 	job := &Job{
 		Name:   "flaky",
 		Splits: makeSplits(1000, 10),
@@ -283,7 +283,7 @@ func (m *sumMapper) Cleanup(ctx *TaskContext) error {
 }
 
 func TestFaultInjectionExhaustsAttempts(t *testing.T) {
-	engine := NewEngine(Config{FailureRate: 1.0, FailureSeed: 1, MaxAttempts: 3})
+	engine := NewEngine(Config{Faults: UniformFaults(1.0, 1), MaxAttempts: 3})
 	job := &Job{
 		Name:   "doomed",
 		Splits: makeSplits(10, 1),

@@ -1,0 +1,36 @@
+package mr
+
+import (
+	"hash/fnv"
+	"testing"
+)
+
+// FuzzPartitionStability extends the golden FNV pin of shuffle_test.go from
+// a fixed key corpus to arbitrary key bytes: for any key and any reducer
+// count, the inline FNV-1a partitioner must agree with the hash/fnv
+// reference, so shuffle layouts can never move — not even for keys no
+// pipeline job has emitted yet.
+func FuzzPartitionStability(f *testing.F) {
+	f.Add([]byte(""), uint16(1))
+	f.Add([]byte("even"), uint16(3))
+	f.Add([]byte("supports"), uint16(112))
+	f.Add([]byte("t3_9"), uint16(7))
+	f.Add([]byte{0x00, 0xff, 0x80}, uint16(16))
+	f.Add([]byte("héllo wörld"), uint16(1000))
+	f.Fuzz(func(t *testing.T, key []byte, nRaw uint16) {
+		n := 1 + int(nRaw%2048)
+		h := fnv.New32a()
+		h.Write(key)
+		want := 0
+		if n > 1 {
+			want = int(h.Sum32() % uint32(n))
+		}
+		got := partition(string(key), n)
+		if got != want {
+			t.Fatalf("partition(%q, %d) = %d, hash/fnv reference = %d", key, n, got, want)
+		}
+		if got < 0 || got >= n {
+			t.Fatalf("partition(%q, %d) = %d out of range", key, n, got)
+		}
+	})
+}

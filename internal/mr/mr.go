@@ -11,7 +11,12 @@
 //   - a cost model charging per-job startup overhead and per-byte I/O, so
 //     that runtime *shape* experiments ("more MR jobs ⇒ slower") reproduce
 //     the paper's Figure 7 without a physical cluster,
-//   - fault injection with task retry, mirroring Hadoop's error tolerance.
+//   - deterministic fault injection across the full task lifecycle — map,
+//     combine and reduce attempts can be failed mid-flight or delayed as
+//     simulated stragglers by a pluggable FaultPlan — with per-task retry,
+//     cooperative cancellation of sibling tasks on permanent failure, and
+//     wasted-attempt cost accounting, mirroring Hadoop's error tolerance
+//     (see DESIGN.md §3c for the fault-model contract).
 package mr
 
 import (
@@ -72,7 +77,11 @@ func (f MapperFunc) Map(ctx *TaskContext, global int, row []float64) error {
 // Cleanup implements Mapper.
 func (f MapperFunc) Cleanup(*TaskContext) error { return nil }
 
-// Reducer aggregates all values of one key.
+// Reducer aggregates all values of one key. Implementations must be
+// re-runnable: a failed reduce attempt is retried from the same shuffled
+// input, so reducers must treat values — and whatever the values reference,
+// e.g. shipped slices — as read-only. Folding into values[0] in place would
+// double-count on retry; accumulate into fresh state instead.
 type Reducer interface {
 	Reduce(ctx *TaskContext, key string, values []any) error
 }
@@ -132,10 +141,17 @@ type Output struct {
 	// outputs concatenate in partition order (map-only: split order),
 	// independent of Parallelism and task scheduling.
 	Pairs []Pair
-	// Counters are the accumulated job counters.
+	// Counters are the accumulated job counters. Only successful task
+	// attempts contribute: a failed attempt's partial counters are diverted
+	// into Wasted, so Counters is bit-identical to a fault-free run.
 	Counters Counters
+	// Wasted aggregates the counters of failed task attempts — work the
+	// modeled cluster performed and threw away. It is charged by the cost
+	// model (retries cost time) but never folded into Counters.
+	Wasted Counters
 	// SimulatedSeconds is the modeled wall-clock cost of the job under the
-	// engine's cost model (startup + compute + shuffle I/O).
+	// engine's cost model (startup + compute + shuffle I/O + re-executed
+	// attempts + injected straggler delays).
 	SimulatedSeconds float64
 }
 
