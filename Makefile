@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench chaos
+.PHONY: ci vet build test race bench chaos trace trace-demo
 
-ci: vet build test race chaos bench
+ci: vet build test race chaos trace bench
 
 vet:
 	$(GO) vet ./...
@@ -29,5 +29,23 @@ race:
 chaos:
 	$(GO) test -race -run 'Chaos|Fault' ./...
 
+# Observability suite under the race detector: tracer/metrics unit tests,
+# span-structure tests, trace-vs-untraced identity oracles, and the
+# Observer ordering/composition tests.
+trace:
+	$(GO) test -race -run 'Trace|Obs|Observer|Metrics|Report|JSONL' ./...
+
+# Benchmarks with a machine-readable summary: benchjson tees the raw
+# output through and writes BENCH_PR3.json for cross-PR baseline diffs.
 bench:
-	$(GO) test -run xxx -bench . -benchtime 1x -benchmem ./internal/mr/
+	$(GO) test -run xxx -bench . -benchtime 1x -benchmem ./internal/mr/ \
+		| $(GO) run ./cmd/benchjson -out BENCH_PR3.json
+
+# End-to-end trace demo: generate a small data set, cluster it with
+# tracing, the per-job report, and the cost model enabled, then show the
+# first few trace events.
+trace-demo:
+	$(GO) run ./cmd/p3cgen -out /tmp/p3c-trace-demo.bin -n 2000 -dim 10 -clusters 3
+	$(GO) run ./cmd/p3crun -in /tmp/p3c-trace-demo.bin -algo mr-light -simulate \
+		-trace /tmp/p3c-trace-demo.jsonl -report -metrics
+	head -n 5 /tmp/p3c-trace-demo.jsonl

@@ -22,6 +22,7 @@ import (
 	"p3cmr/internal/core"
 	"p3cmr/internal/dataset"
 	"p3cmr/internal/mr"
+	"p3cmr/internal/obs"
 )
 
 func main() {
@@ -39,6 +40,9 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON on stdout")
 		members   = flag.Bool("members", false, "include member lists in JSON output")
 		jobStats  = flag.Bool("jobstats", false, "print per-job MapReduce statistics")
+		traceOut  = flag.String("trace", "", "write a JSONL span trace of the run to this file")
+		report    = flag.Bool("report", false, "print a per-phase/per-job observability report after the run")
+		metrics   = flag.Bool("metrics", false, "print an engine metrics snapshot after the run")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -57,11 +61,35 @@ func main() {
 	if !ok {
 		fatal(fmt.Errorf("unknown algorithm %q", *algo))
 	}
-	var engine *mr.Engine
-	if *jobStats || *simulate {
+	var (
+		engine    *mr.Engine
+		jsonl     *obs.JSONLTracer
+		collector *obs.ReportCollector
+		registry  *obs.Registry
+	)
+	if *jobStats || *simulate || *traceOut != "" || *report || *metrics {
 		ec := mr.Config{}
 		if *simulate {
 			ec.Cost = mr.DefaultCostModel()
+		}
+		var tracers []obs.Tracer
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			jsonl = obs.NewJSONLTracer(f)
+			tracers = append(tracers, jsonl)
+		}
+		if *report {
+			collector = obs.NewReportCollector()
+			tracers = append(tracers, collector)
+		}
+		ec.Tracer = obs.Multi(tracers...)
+		if *metrics {
+			registry = obs.NewRegistry()
+			ec.Metrics = registry
 		}
 		engine = mr.NewEngine(ec)
 	}
@@ -88,6 +116,24 @@ func main() {
 		fatal(err)
 	}
 
+	// finishObs flushes the trace file and prints the report and metrics
+	// snapshot (when requested). Shared by the JSON and text output paths.
+	finishObs := func() {
+		if jsonl != nil {
+			if err := jsonl.Close(); err != nil {
+				fatal(fmt.Errorf("writing trace: %w", err))
+			}
+			fmt.Fprintf(os.Stderr, "trace written to %s\n", *traceOut)
+		}
+		if collector != nil {
+			collector.WriteReport(os.Stderr)
+		}
+		if registry != nil {
+			snap := registry.Snapshot()
+			snap.WriteText(os.Stderr)
+		}
+	}
+
 	if *jsonOut {
 		if err := res.WriteJSON(os.Stdout, alg, *members); err != nil {
 			fatal(err)
@@ -97,6 +143,7 @@ func main() {
 				fatal(err)
 			}
 		}
+		finishObs()
 		return
 	}
 
@@ -124,6 +171,7 @@ func main() {
 	if *jobStats && engine != nil {
 		printJobStats(engine)
 	}
+	finishObs()
 }
 
 // printJobStats renders the engine's per-job-name accounting, sorted by

@@ -9,6 +9,7 @@ import (
 	"p3cmr/internal/eval"
 	"p3cmr/internal/histogram"
 	"p3cmr/internal/mr"
+	"p3cmr/internal/obs"
 	"p3cmr/internal/outlier"
 	"p3cmr/internal/signature"
 	"p3cmr/internal/stats"
@@ -21,6 +22,13 @@ type pipeline struct {
 	data   *dataset.Dataset
 	splits []*mr.Split
 	n, dim int
+
+	// tracer is the engine's tracer (nil when tracing is off); runSpan is
+	// the pipeline's root span and phaseSpan the currently open phase span —
+	// the TraceParent handed to every job launched within that phase.
+	tracer    obs.Tracer
+	runSpan   obs.SpanID
+	phaseSpan obs.SpanID
 
 	cores        []signature.Signature
 	coreSupports []int64
@@ -41,6 +49,7 @@ func Run(engine *mr.Engine, data *dataset.Dataset, params Params) (*Result, erro
 	jobs0 := engine.JobsRun()
 	sim0 := engine.TotalSimulatedSeconds()
 	counters0 := engine.TotalCounters()
+	wasted0 := engine.TotalWasted()
 
 	numSplits := params.NumSplits
 	if numSplits <= 0 {
@@ -53,9 +62,29 @@ func Run(engine *mr.Engine, data *dataset.Dataset, params Params) (*Result, erro
 		splits: data.Splits(numSplits),
 		n:      data.N(),
 		dim:    data.Dim,
+		tracer: engine.Tracer(),
+	}
+	if p.tracer != nil {
+		p.runSpan = obs.NewSpanID()
+		p.tracer.Begin(obs.Start{ID: p.runSpan, Kind: obs.KindRun, Name: "p3c-pipeline"})
 	}
 
 	res, err := p.run()
+	if p.tracer != nil {
+		c := engine.TotalCounters()
+		c.Sub(counters0)
+		w := engine.TotalWasted()
+		w.Sub(wasted0)
+		e := obs.End{ID: p.runSpan, Kind: obs.KindRun, Name: "p3c-pipeline",
+			RealSeconds:      time.Since(start).Seconds(),
+			SimulatedSeconds: engine.TotalSimulatedSeconds() - sim0,
+			Counters:         c, Wasted: w, Retries: c.TaskRetries}
+		if err != nil {
+			e.Outcome = obs.OutcomeError
+			e.Err = err.Error()
+		}
+		p.tracer.End(e)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -63,19 +92,63 @@ func Run(engine *mr.Engine, data *dataset.Dataset, params Params) (*Result, erro
 	res.Stats.Jobs = engine.JobsRun() - jobs0
 	res.Stats.SimulatedSeconds = engine.TotalSimulatedSeconds() - sim0
 	c := engine.TotalCounters()
-	c0 := counters0
-	res.Stats.Counters = mr.Counters{
-		MapInputRecords:  c.MapInputRecords - c0.MapInputRecords,
-		MapOutputRecords: c.MapOutputRecords - c0.MapOutputRecords,
-		CombineInput:     c.CombineInput - c0.CombineInput,
-		CombineOutput:    c.CombineOutput - c0.CombineOutput,
-		ReduceInputKeys:  c.ReduceInputKeys - c0.ReduceInputKeys,
-		ReduceInputVals:  c.ReduceInputVals - c0.ReduceInputVals,
-		OutputRecords:    c.OutputRecords - c0.OutputRecords,
-		ShuffledBytes:    c.ShuffledBytes - c0.ShuffledBytes,
-		TaskRetries:      c.TaskRetries - c0.TaskRetries,
-	}
+	c.Sub(counters0)
+	res.Stats.Counters = c
 	return res, nil
+}
+
+// phaseScope tracks one open pipeline phase span together with the engine
+// snapshots its end-of-phase deltas are computed against.
+type phaseScope struct {
+	p     *pipeline
+	span  obs.SpanID
+	name  string
+	start time.Time
+	sim0  float64
+	ctr0  mr.Counters
+	wst0  mr.Counters
+}
+
+// beginPhase opens a phase span under the run span and makes it the trace
+// parent of subsequently launched jobs. With no tracer it returns nil, and
+// calling end on the nil scope is a no-op.
+func (p *pipeline) beginPhase(name string) *phaseScope {
+	if p.tracer == nil {
+		return nil
+	}
+	ps := &phaseScope{
+		p: p, name: name, span: obs.NewSpanID(),
+		sim0: p.engine.TotalSimulatedSeconds(),
+		ctr0: p.engine.TotalCounters(),
+		wst0: p.engine.TotalWasted(),
+	}
+	p.tracer.Begin(obs.Start{ID: ps.span, Parent: p.runSpan, Kind: obs.KindPhase, Name: name})
+	ps.start = time.Now()
+	p.phaseSpan = ps.span
+	return ps
+}
+
+// end closes the phase span, attributing the engine counter and cost deltas
+// accumulated since beginPhase; a non-nil err marks the phase failed.
+func (ps *phaseScope) end(err error) {
+	if ps == nil {
+		return
+	}
+	p := ps.p
+	c := p.engine.TotalCounters()
+	c.Sub(ps.ctr0)
+	w := p.engine.TotalWasted()
+	w.Sub(ps.wst0)
+	e := obs.End{ID: ps.span, Kind: obs.KindPhase, Name: ps.name,
+		RealSeconds:      time.Since(ps.start).Seconds(),
+		SimulatedSeconds: p.engine.TotalSimulatedSeconds() - ps.sim0,
+		Counters:         c, Wasted: w, Retries: c.TaskRetries}
+	if err != nil {
+		e.Outcome = obs.OutcomeError
+		e.Err = err.Error()
+	}
+	p.tracer.End(e)
+	p.phaseSpan = 0
 }
 
 // observe notifies the configured Observer, if any.
@@ -103,17 +176,23 @@ func (p *pipeline) binCount(n int) int {
 func (p *pipeline) run() (*Result, error) {
 	// --- Histogram building (§5.1) and relevant intervals (§5.2) ------------
 	bins := p.binCount(p.n)
-	hists, err := histogramJob(p.engine, p.splits, p.dim, bins)
+	ps := p.beginPhase("histograms")
+	hists, err := histogramJob(p.engine, p.splits, p.dim, bins, p.phaseSpan)
 	if err != nil {
+		ps.end(err)
 		return nil, fmt.Errorf("core: histogram job: %w", err)
 	}
 	p.observe(PhaseHistograms, bins)
 	intervals, supports := relevantIntervals(hists, p.params.AlphaChi2)
+	ps.end(nil)
 	p.observe(PhaseRelevantIntervals, len(intervals))
 
 	// --- Cluster-core generation (§5.3) --------------------------------------
+	ps = p.beginPhase("core-generation")
 	gen := newCoreGenerator(p.params, p.engine, p.splits, p.n)
+	gen.trace = p.phaseSpan
 	proven, err := gen.run(intervals, supports)
+	ps.end(err)
 	if err != nil {
 		return nil, fmt.Errorf("core: cluster-core generation: %w", err)
 	}
@@ -122,7 +201,9 @@ func (p *pipeline) run() (*Result, error) {
 
 	var cores []signature.Signature
 	if p.params.UseRedundancyFilter {
+		ps = p.beginPhase("redundancy-filter")
 		cores, err = p.redundancyRescue(gen, proven)
+		ps.end(err)
 		if err != nil {
 			return nil, fmt.Errorf("core: redundancy filter: %w", err)
 		}
@@ -212,7 +293,7 @@ func (p *pipeline) redundancyRescue(gen *coreGenerator, proven []signature.Signa
 			ratios[i] = signature.InterestRatio(float64(supp), s, p.n)
 			in[i] = signature.RedundancyInput{Sig: s, Support: supp, Ratio: ratios[i]}
 		}
-		unc, err := uncoveredCounts(p.engine, p.splits, all, ratios)
+		unc, err := uncoveredCounts(p.engine, p.splits, all, ratios, p.phaseSpan)
 		if err != nil {
 			return nil, err
 		}
@@ -257,18 +338,25 @@ func relevantIntervals(hists []*histogram.Histogram, alpha float64) ([]signature
 // --- Full variant: EM refinement + outlier detection --------------------------
 
 func (p *pipeline) finishFull(res *Result) (*Result, error) {
-	model, err := initEMModel(p.engine, p.splits, p.cores, p.n)
+	ps := p.beginPhase("em")
+	model, err := initEMModel(p.engine, p.splits, p.cores, p.n, p.phaseSpan)
 	if err != nil {
+		ps.end(err)
 		return nil, fmt.Errorf("core: EM init: %w", err)
 	}
-	iters, err := em.FitMR(p.engine, p.splits, model, p.params.EM)
+	emOpts := p.params.EM
+	emOpts.TraceParent = p.phaseSpan
+	iters, err := em.FitMR(p.engine, p.splits, model, emOpts)
+	ps.end(err)
 	if err != nil {
 		return nil, fmt.Errorf("core: EM: %w", err)
 	}
 	res.Stats.EMIterations = iters
 	p.observe(PhaseEM, iters)
 
-	labels, err := outlier.Detect(p.engine, p.splits, model, p.n, p.params.OutlierMethod, p.params.AlphaChi2)
+	ps = p.beginPhase("outlier-detection")
+	labels, err := outlier.Detect(p.engine, p.splits, model, p.n, p.params.OutlierMethod, p.params.AlphaChi2, p.phaseSpan)
+	ps.end(err)
 	if err != nil {
 		return nil, fmt.Errorf("core: outlier detection: %w", err)
 	}
@@ -309,6 +397,7 @@ func (p *pipeline) lightMembership() ([][]int, error) {
 		NewMapper: func() mr.Mapper {
 			return &membershipMapper{}
 		},
+		TraceParent: p.phaseSpan,
 	}
 	out, err := p.engine.Run(job)
 	if err != nil {
@@ -349,7 +438,9 @@ func (m *membershipMapper) Map(ctx *mr.TaskContext, global int, row []float64) e
 func (m *membershipMapper) Cleanup(*mr.TaskContext) error { return nil }
 
 func (p *pipeline) finishLight(res *Result) (*Result, error) {
+	ps := p.beginPhase("light-membership")
 	members, err := p.lightMembership()
+	ps.end(err)
 	if err != nil {
 		return nil, fmt.Errorf("core: light membership: %w", err)
 	}
@@ -414,7 +505,9 @@ func (p *pipeline) finishLight(res *Result) (*Result, error) {
 // per cluster.
 func (p *pipeline) finish(res *Result, membership []int, attrs [][]int) (*Result, error) {
 	k := len(p.cores)
-	mins, maxs, err := tighteningJob(p.engine, p.splits, membership, attrs)
+	ps := p.beginPhase("tightening")
+	mins, maxs, err := tighteningJob(p.engine, p.splits, membership, attrs, p.phaseSpan)
+	ps.end(err)
 	if err != nil {
 		return nil, fmt.Errorf("core: interval tightening: %w", err)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"p3cmr/internal/mr"
+	"p3cmr/internal/obs"
 	"p3cmr/internal/signature"
 	"p3cmr/internal/stats"
 )
@@ -20,6 +21,8 @@ type coreGenerator struct {
 	failed    map[string]bool  // signature key → tested and rejected
 	tested    int
 	truncated int // levels cut by LevelCap
+	// trace is the phase span the generator's jobs nest under (0 = untraced).
+	trace obs.SpanID
 }
 
 func newCoreGenerator(params Params, engine *mr.Engine, splits []*mr.Split, n int) *coreGenerator {
@@ -90,7 +93,7 @@ func (g *coreGenerator) run(intervals []signature.Interval, supports []int64) ([
 		prevSize := -1
 		basis := current
 		for g.params.MaxP == 0 || k <= g.params.MaxP {
-			cands, err := generateCandidatesMR(g.engine, basis, g.params.Tgen)
+			cands, err := generateCandidatesMR(g.engine, basis, g.params.Tgen, g.trace)
 			if err != nil {
 				return nil, err
 			}
@@ -173,7 +176,7 @@ func (g *coreGenerator) proveBatches(collected []batch) ([]signature.Signature, 
 		}
 	}
 	need = signature.Dedup(need)
-	counts, err := countSupports(g.engine, g.splits, need, "prove-candidates")
+	counts, err := countSupports(g.engine, g.splits, need, "prove-candidates", g.trace)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 	"p3cmr/internal/em"
 	"p3cmr/internal/linalg"
 	"p3cmr/internal/mr"
+	"p3cmr/internal/obs"
 	"p3cmr/internal/signature"
 )
 
@@ -36,15 +37,15 @@ func relevantAttrs(cores []signature.Signature) []int {
 //
 // Each iteration is two MR jobs (means, then covariances). The returned
 // model carries mixing weights proportional to the member counts.
-func initEMModel(engine *mr.Engine, splits []*mr.Split, cores []signature.Signature, n int) (*em.Model, error) {
+func initEMModel(engine *mr.Engine, splits []*mr.Split, cores []signature.Signature, n int, trace obs.SpanID) (*em.Model, error) {
 	attrs := relevantAttrs(cores)
 	rssc := signature.NewRSSC(cores)
 
-	model1, err := estimateCoreModel(engine, splits, rssc, attrs, nil, n)
+	model1, err := estimateCoreModel(engine, splits, rssc, attrs, nil, n, trace)
 	if err != nil {
 		return nil, fmt.Errorf("core: EM init pass 1: %w", err)
 	}
-	model2, err := estimateCoreModel(engine, splits, rssc, attrs, model1, n)
+	model2, err := estimateCoreModel(engine, splits, rssc, attrs, model1, n, trace)
 	if err != nil {
 		return nil, fmt.Errorf("core: EM init pass 2: %w", err)
 	}
@@ -55,7 +56,7 @@ func initEMModel(engine *mr.Engine, splits []*mr.Split, cores []signature.Signat
 // fallback is non-nil, points outside every core support set are assigned
 // to their Mahalanobis-nearest fallback component; otherwise they are
 // ignored.
-func estimateCoreModel(engine *mr.Engine, splits []*mr.Split, rssc *signature.RSSC, attrs []int, fallback *em.Model, n int) (*em.Model, error) {
+func estimateCoreModel(engine *mr.Engine, splits []*mr.Split, rssc *signature.RSSC, attrs []int, fallback *em.Model, n int, trace obs.SpanID) (*em.Model, error) {
 	if fallback != nil {
 		if err := fallback.Prepare(); err != nil {
 			return nil, err
@@ -70,9 +71,10 @@ func estimateCoreModel(engine *mr.Engine, splits []*mr.Split, rssc *signature.RS
 		Count int64
 	}
 	job1 := &mr.Job{
-		Name:   "em-init-means",
-		Splits: splits,
-		Cache:  map[string]any{"rssc": rssc},
+		Name:        "em-init-means",
+		Splits:      splits,
+		TraceParent: trace,
+		Cache:       map[string]any{"rssc": rssc},
 		NewMapper: func() mr.Mapper {
 			return &coreMomentMapper{attrs: attrs, fallback: fallback, k: k}
 		},
@@ -112,9 +114,10 @@ func estimateCoreModel(engine *mr.Engine, splits []*mr.Split, rssc *signature.RS
 
 	// Job 2: per-core scatter around the means.
 	job2 := &mr.Job{
-		Name:   "em-init-cov",
-		Splits: splits,
-		Cache:  map[string]any{"rssc": rssc},
+		Name:        "em-init-cov",
+		Splits:      splits,
+		TraceParent: trace,
+		Cache:       map[string]any{"rssc": rssc},
 		NewMapper: func() mr.Mapper {
 			return &coreScatterMapper{attrs: attrs, fallback: fallback, k: k, means: means}
 		},

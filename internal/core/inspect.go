@@ -6,6 +6,7 @@ import (
 
 	"p3cmr/internal/histogram"
 	"p3cmr/internal/mr"
+	"p3cmr/internal/obs"
 	"p3cmr/internal/signature"
 	"p3cmr/internal/stats"
 )
@@ -14,11 +15,12 @@ import (
 // histogram per (cluster, attribute) over the cluster members designated by
 // membership (negative = no cluster). bins[c] is the per-cluster bin count
 // (derived from the member count by the configured rule).
-func clusterHistograms(engine *mr.Engine, splits []*mr.Split, membership []int, k, dim int, bins []int) ([][]*histogram.Histogram, error) {
+func clusterHistograms(engine *mr.Engine, splits []*mr.Split, membership []int, k, dim int, bins []int, trace obs.SpanID) ([][]*histogram.Histogram, error) {
 	job := &mr.Job{
-		Name:   "attribute-inspection-histograms",
-		Splits: splits,
-		Cache:  map[string]any{"membership": membership, "bins": bins},
+		Name:        "attribute-inspection-histograms",
+		Splits:      splits,
+		TraceParent: trace,
+		Cache:       map[string]any{"membership": membership, "bins": bins},
 		NewMapper: func() mr.Mapper {
 			return &aiHistMapper{k: k, dim: dim}
 		},
@@ -117,6 +119,7 @@ type aiSuggestion struct {
 // MR job. It returns per-cluster attribute sets Ai (core attributes plus
 // accepted additions).
 func (p *pipeline) attributeInspection(membership []int, memberCounts []int64) ([][]int, error) {
+	ps := p.beginPhase("attribute-inspection")
 	k := len(p.cores)
 	bins := make([]int, k)
 	for c := range bins {
@@ -131,8 +134,9 @@ func (p *pipeline) attributeInspection(membership []int, memberCounts []int64) (
 			bins[c] = 1
 		}
 	}
-	hists, err := clusterHistograms(p.engine, p.splits, membership, k, p.dim, bins)
+	hists, err := clusterHistograms(p.engine, p.splits, membership, k, p.dim, bins, p.phaseSpan)
 	if err != nil {
+		ps.end(err)
 		return nil, err
 	}
 
@@ -168,6 +172,7 @@ func (p *pipeline) attributeInspection(membership []int, memberCounts []int64) (
 	if p.params.UseAIProving && len(suggestions) > 0 {
 		ok, err := p.proveSuggestions(suggestions)
 		if err != nil {
+			ps.end(err)
 			return nil, err
 		}
 		accepted[0] = ok
@@ -195,6 +200,7 @@ func (p *pipeline) attributeInspection(membership []int, memberCounts []int64) (
 		}
 		sort.Ints(attrs[c])
 	}
+	ps.end(nil)
 	return attrs, nil
 }
 
@@ -206,7 +212,7 @@ func (p *pipeline) proveSuggestions(suggestions []aiSuggestion) ([]bool, error) 
 	for i, s := range suggestions {
 		augmented[i] = p.cores[s.cluster].With(s.iv)
 	}
-	counts, err := countSupports(p.engine, p.splits, augmented, "ai-proving")
+	counts, err := countSupports(p.engine, p.splits, augmented, "ai-proving", p.phaseSpan)
 	if err != nil {
 		return nil, err
 	}

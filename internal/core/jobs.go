@@ -5,6 +5,7 @@ import (
 
 	"p3cmr/internal/histogram"
 	"p3cmr/internal/mr"
+	"p3cmr/internal/obs"
 	"p3cmr/internal/signature"
 )
 
@@ -13,14 +14,15 @@ import (
 // histogramJob computes one histogram per attribute over all splits: each
 // mapper accumulates local per-attribute counts and emits them in Cleanup;
 // a single reducer merges the partial histograms (Eq. 8).
-func histogramJob(engine *mr.Engine, splits []*mr.Split, dim, bins int) ([]*histogram.Histogram, error) {
+func histogramJob(engine *mr.Engine, splits []*mr.Split, dim, bins int, trace obs.SpanID) ([]*histogram.Histogram, error) {
 	job := &mr.Job{
 		Name:   "histograms",
 		Splits: splits,
 		NewMapper: func() mr.Mapper {
 			return &histMapper{dim: dim, bins: bins}
 		},
-		Reducer: sumVectorsReducer(),
+		Reducer:     sumVectorsReducer(),
+		TraceParent: trace,
 	}
 	out, err := engine.Run(job)
 	if err != nil {
@@ -97,7 +99,7 @@ func sumVectorsReducer() mr.Reducer {
 // countSupports measures the support of every signature with one MR job
 // using the RSSC: mappers query the bitmap index per point and accumulate
 // local counts; a single reducer sums the count vectors.
-func countSupports(engine *mr.Engine, splits []*mr.Split, sigs []signature.Signature, name string) ([]int64, error) {
+func countSupports(engine *mr.Engine, splits []*mr.Split, sigs []signature.Signature, name string, trace obs.SpanID) ([]int64, error) {
 	if len(sigs) == 0 {
 		return nil, nil
 	}
@@ -109,7 +111,8 @@ func countSupports(engine *mr.Engine, splits []*mr.Split, sigs []signature.Signa
 		NewMapper: func() mr.Mapper {
 			return &supportMapper{}
 		},
-		Reducer: sumVectorsReducer(),
+		Reducer:     sumVectorsReducer(),
+		TraceParent: trace,
 	}
 	out, err := engine.Run(job)
 	if err != nil {
@@ -152,7 +155,7 @@ func (m *supportMapper) Cleanup(ctx *mr.TaskContext) error {
 // level. When the pair count exceeds 2·Tgen the pair space is sharded over
 // ⌊c/Tgen⌋ map-only tasks (the paper's distributed-cache scheme); otherwise
 // the serial kernel runs inline.
-func generateCandidatesMR(engine *mr.Engine, level []signature.Signature, tgen int64) ([]signature.Signature, error) {
+func generateCandidatesMR(engine *mr.Engine, level []signature.Signature, tgen int64, trace obs.SpanID) ([]signature.Signature, error) {
 	k := int64(len(level))
 	c := k * (k - 1) / 2
 	if c == 0 {
@@ -179,6 +182,7 @@ func generateCandidatesMR(engine *mr.Engine, level []signature.Signature, tgen i
 		NewMapper: func() mr.Mapper {
 			return &genMapper{}
 		},
+		TraceParent: trace,
 	}
 	out, err := engine.Run(job)
 	if err != nil {
@@ -224,7 +228,7 @@ func (genMapper) Cleanup(ctx *mr.TaskContext) error {
 // uncoveredCounts runs one pass computing, per signature, how many of its
 // support points are not covered by any strictly more interesting
 // signature.
-func uncoveredCounts(engine *mr.Engine, splits []*mr.Split, sigs []signature.Signature, ratios []float64) ([]int64, error) {
+func uncoveredCounts(engine *mr.Engine, splits []*mr.Split, sigs []signature.Signature, ratios []float64, trace obs.SpanID) ([]int64, error) {
 	if len(sigs) == 0 {
 		return nil, nil
 	}
@@ -236,7 +240,8 @@ func uncoveredCounts(engine *mr.Engine, splits []*mr.Split, sigs []signature.Sig
 		NewMapper: func() mr.Mapper {
 			return &uncoveredMapper{}
 		},
-		Reducer: sumVectorsReducer(),
+		Reducer:     sumVectorsReducer(),
+		TraceParent: trace,
 	}
 	out, err := engine.Run(job)
 	if err != nil {
@@ -280,12 +285,13 @@ func (m *uncoveredMapper) Cleanup(ctx *mr.TaskContext) error {
 // and maximum attribute value over the cluster members. membership maps a
 // global point index to its cluster (or a negative value for none); attrs
 // lists the attributes to tighten per cluster.
-func tighteningJob(engine *mr.Engine, splits []*mr.Split, membership []int, attrs [][]int) (mins, maxs []map[int]float64, err error) {
+func tighteningJob(engine *mr.Engine, splits []*mr.Split, membership []int, attrs [][]int, trace obs.SpanID) (mins, maxs []map[int]float64, err error) {
 	k := len(attrs)
 	job := &mr.Job{
-		Name:   "interval-tightening",
-		Splits: splits,
-		Cache:  map[string]any{"membership": membership, "attrs": attrs},
+		Name:        "interval-tightening",
+		Splits:      splits,
+		TraceParent: trace,
+		Cache:       map[string]any{"membership": membership, "attrs": attrs},
 		NewMapper: func() mr.Mapper {
 			return &tightenMapper{}
 		},

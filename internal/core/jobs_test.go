@@ -23,7 +23,7 @@ func TestHistogramJobMatchesSerial(t *testing.T) {
 		}
 		d.Append(row)
 	}
-	hists, err := histogramJob(mr.Default(), splitsFor(d, 7), dim, bins)
+	hists, err := histogramJob(mr.Default(), splitsFor(d, 7), dim, bins, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestCountSupportsMatchesNaive(t *testing.T) {
 			))
 		}
 	}
-	counts, err := countSupports(mr.Default(), splitsFor(d, 5), sigs, "test-count")
+	counts, err := countSupports(mr.Default(), splitsFor(d, 5), sigs, "test-count", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestCountSupportsMatchesNaive(t *testing.T) {
 		}
 	}
 	// Empty candidate set short-circuits.
-	empty, err := countSupports(mr.Default(), splitsFor(d, 5), nil, "empty")
+	empty, err := countSupports(mr.Default(), splitsFor(d, 5), nil, "empty", 0)
 	if err != nil || empty != nil {
 		t.Fatal("empty candidate set must return nil, nil")
 	}
@@ -101,11 +101,11 @@ func TestGenerateCandidatesMRParallelMatchesSerial(t *testing.T) {
 	}
 	signature.Sort(level)
 	engine := mr.Default()
-	serial, err := generateCandidatesMR(engine, level, 0) // Tgen=0 → serial
+	serial, err := generateCandidatesMR(engine, level, 0, 0) // Tgen=0 → serial
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := generateCandidatesMR(engine, level, 50) // tiny Tgen → MR path
+	parallel, err := generateCandidatesMR(engine, level, 50, 0) // tiny Tgen → MR path
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +119,7 @@ func TestGenerateCandidatesMRParallelMatchesSerial(t *testing.T) {
 		}
 	}
 	// Empty level.
-	if got, err := generateCandidatesMR(engine, nil, 50); err != nil || got != nil {
+	if got, err := generateCandidatesMR(engine, nil, 50, 0); err != nil || got != nil {
 		t.Fatal("empty level must be nil, nil")
 	}
 }
@@ -135,7 +135,7 @@ func TestTighteningJobMinMax(t *testing.T) {
 	})
 	membership := []int{0, 0, 0, 1, 1, -1}
 	attrs := [][]int{{0, 1}, {0}}
-	mins, maxs, err := tighteningJob(mr.Default(), splitsFor(d, 3), membership, attrs)
+	mins, maxs, err := tighteningJob(mr.Default(), splitsFor(d, 3), membership, attrs, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +170,7 @@ func TestUncoveredCountsJobMatchesSerial(t *testing.T) {
 		signature.New(signature.Interval{Attr: 0, Lo: 0, Hi: 0.5}, signature.Interval{Attr: 1, Lo: 0, Hi: 0.5}),
 	}
 	ratios := []float64{1, 2, 3}
-	got, err := uncoveredCounts(mr.Default(), splitsFor(d, 4), sigs, ratios)
+	got, err := uncoveredCounts(mr.Default(), splitsFor(d, 4), sigs, ratios, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"p3cmr/internal/mr"
+	"p3cmr/internal/obs"
 )
 
 func TestObserverPhasesLight(t *testing.T) {
@@ -48,6 +49,80 @@ func TestObserverPhasesFull(t *testing.T) {
 	}
 	if seen[PhaseEM] < 1 {
 		t.Errorf("EM iterations = %d", seen[PhaseEM])
+	}
+}
+
+// TestObserverPhasesFullOrdering pins the phase *sequence* of the full
+// (EM + outlier detection) pipeline, not just membership: EM iterations may
+// repeat, but the milestone order is fixed.
+func TestObserverPhasesFullOrdering(t *testing.T) {
+	data, _ := genData(t, 1500, 10, 2, 0.05, 31)
+	var phases []Phase
+	params := NewParams()
+	params.Observer = ObserverFunc(func(p Phase, detail int) { phases = append(phases, p) })
+	if _, err := Run(mr.Default(), data, params); err != nil {
+		t.Fatal(err)
+	}
+	want := []Phase{
+		PhaseHistograms, PhaseRelevantIntervals, PhaseCoreGeneration,
+		PhaseRedundancyFilter, PhaseEM, PhaseOutlierDetection,
+		PhaseAttributeInspection, PhaseTightening,
+	}
+	if len(phases) != len(want) {
+		t.Fatalf("phases = %v, want %v", phases, want)
+	}
+	for i := range want {
+		if phases[i] != want[i] {
+			t.Fatalf("phase %d = %s, want %s", i, phases[i], want[i])
+		}
+	}
+}
+
+// TestObserverAndTracerCompose: the coarse Observer callback and the span
+// tracer are independent channels — one run must feed both, with the
+// Observer's milestones each backed by a phase span in the trace.
+func TestObserverAndTracerCompose(t *testing.T) {
+	data, _ := genData(t, 1500, 10, 2, 0.05, 31)
+	var observed []Phase
+	mem := obs.NewMemTracer()
+	params := LightParams()
+	params.Observer = ObserverFunc(func(p Phase, detail int) { observed = append(observed, p) })
+	engine := mr.NewEngine(mr.Config{Parallelism: 4, Tracer: mem})
+	if _, err := Run(engine, data, params); err != nil {
+		t.Fatal(err)
+	}
+	if len(observed) == 0 {
+		t.Fatal("observer saw no phases")
+	}
+	if err := mem.Validate(); err != nil {
+		t.Fatalf("invalid span stream: %v", err)
+	}
+	spanPhases := make(map[string]bool)
+	for _, s := range mem.SpansOf(obs.KindPhase) {
+		spanPhases[s.Name] = true
+	}
+	// Every traced phase that has an Observer milestone must appear in both
+	// channels of the same run.
+	for phase, span := range map[Phase]string{
+		PhaseHistograms:          "histograms",
+		PhaseCoreGeneration:      "core-generation",
+		PhaseRedundancyFilter:    "redundancy-filter",
+		PhaseAttributeInspection: "attribute-inspection",
+		PhaseTightening:          "tightening",
+	} {
+		var saw bool
+		for _, p := range observed {
+			if p == phase {
+				saw = true
+				break
+			}
+		}
+		if !saw {
+			t.Errorf("observer missed phase %s", phase)
+		}
+		if !spanPhases[span] {
+			t.Errorf("trace missing phase span %q", span)
+		}
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"p3cmr/internal/linalg"
 	"p3cmr/internal/mr"
+	"p3cmr/internal/obs"
 )
 
 // Component is one Gaussian mixture component restricted to the subspace
@@ -160,6 +161,9 @@ type FitOptions struct {
 	// Tolerance stops the loop when the mean log-likelihood improves by
 	// less (default 1e-4).
 	Tolerance float64
+	// TraceParent is the span the per-iteration MR jobs nest under (the
+	// pipeline's EM phase span); zero leaves the jobs unparented.
+	TraceParent obs.SpanID
 }
 
 func (o FitOptions) withDefaults() FitOptions {
@@ -191,7 +195,7 @@ func FitMR(engine *mr.Engine, splits []*mr.Split, model *Model, opts FitOptions)
 	prevLL := math.Inf(-1)
 	iters := 0
 	for it := 0; it < opts.MaxIterations; it++ {
-		ll, err := emIteration(engine, splits, model, it)
+		ll, err := emIteration(engine, splits, model, it, opts.TraceParent)
 		if err != nil {
 			return iters, err
 		}
@@ -221,14 +225,15 @@ type covStat struct {
 
 // emIteration runs one E+M cycle as two MR jobs and returns the data
 // log-likelihood under the pre-update model.
-func emIteration(engine *mr.Engine, splits []*mr.Split, model *Model, it int) (float64, error) {
+func emIteration(engine *mr.Engine, splits []*mr.Split, model *Model, it int, trace obs.SpanID) (float64, error) {
 	k := model.K()
 	d := len(model.Attrs)
 
 	// Job 1: weights and means.
 	job1 := &mr.Job{
-		Name:   fmt.Sprintf("em-moments-%d", it),
-		Splits: splits,
+		Name:        fmt.Sprintf("em-moments-%d", it),
+		Splits:      splits,
+		TraceParent: trace,
 		NewMapper: func() mr.Mapper {
 			return &momentsMapper{model: model}
 		},
@@ -280,8 +285,9 @@ func emIteration(engine *mr.Engine, splits []*mr.Split, model *Model, it int) (f
 	// Job 2: covariances around the new means (weights from the old model's
 	// responsibilities, matching the standard M-step).
 	job2 := &mr.Job{
-		Name:   fmt.Sprintf("em-cov-%d", it),
-		Splits: splits,
+		Name:        fmt.Sprintf("em-cov-%d", it),
+		Splits:      splits,
+		TraceParent: trace,
 		NewMapper: func() mr.Mapper {
 			return &covMapper{model: model, means: newMeans}
 		},

@@ -2,8 +2,11 @@ package mr
 
 import (
 	"fmt"
+	"io"
 	"strings"
 	"testing"
+
+	"p3cmr/internal/obs"
 )
 
 // Micro-benchmarks for the engine's hot paths. The four shapes mirror the
@@ -108,8 +111,11 @@ func (m *benchSumTaskMapper) Cleanup(ctx *TaskContext) error {
 }
 
 func benchShuffle(b *testing.B, keys []string, combiner Combiner) {
+	benchShuffleEngine(b, keys, combiner, NewEngine(Config{Parallelism: benchPar, NumReducers: 4}))
+}
+
+func benchShuffleEngine(b *testing.B, keys []string, combiner Combiner, engine *Engine) {
 	splits := benchMakeSplits(benchRows, benchDim, benchSplits)
-	engine := NewEngine(Config{Parallelism: benchPar, NumReducers: 4})
 	// Pre-boxed values: interface boxing of a fresh float64 per emit is a
 	// mapper-side cost, and folding it in would mask the engine's own
 	// allocation behaviour (the thing under test).
@@ -159,6 +165,39 @@ func BenchmarkCombinerOn(b *testing.B) {
 
 func BenchmarkWideKey(b *testing.B) {
 	benchShuffle(b, benchKeys(512, 64), nil)
+}
+
+// BenchmarkShuffleHeavyTraced prices the tracing overhead: same shape as
+// ShuffleHeavy with a JSONL tracer writing to io.Discard. The nil-tracer
+// benchmarks above stay the zero-overhead pin; this one bounds the cost of
+// turning tracing on (span + event marshalling per task attempt).
+func BenchmarkShuffleHeavyTraced(b *testing.B) {
+	tr := obs.NewJSONLTracer(io.Discard)
+	engine := NewEngine(Config{Parallelism: benchPar, NumReducers: 4, Tracer: tr})
+	benchShuffleEngine(b, benchKeys(512, 0), nil, engine)
+}
+
+// BenchmarkMapHeavyTraced mirrors MapHeavy with tracing enabled.
+func BenchmarkMapHeavyTraced(b *testing.B) {
+	splits := benchMakeSplits(benchRows, benchDim, benchSplits)
+	tr := obs.NewJSONLTracer(io.Discard)
+	engine := NewEngine(Config{Parallelism: benchPar, NumReducers: 4, Tracer: tr})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		job := &Job{
+			Name:      "bench-map-heavy",
+			Splits:    splits,
+			NewMapper: func() Mapper { return &benchSumTaskMapper{} },
+			Reducer:   benchSumReducer(),
+		}
+		out, err := engine.Run(job)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out.Pairs) != 1 {
+			b.Fatalf("output = %d pairs", len(out.Pairs))
+		}
+	}
 }
 
 // BenchmarkPartition isolates the key→reducer hash on a mix of key widths.

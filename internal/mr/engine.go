@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
+
+	"p3cmr/internal/obs"
 )
 
 // Config tunes an Engine.
@@ -29,6 +32,44 @@ type Config struct {
 	// Cost configures the simulated cluster cost model. Zero value disables
 	// simulation (SimulatedSeconds stays 0).
 	Cost CostModel
+	// Tracer, when non-nil, receives structured span events: one job span
+	// per Run (parented by Job.TraceParent), one task span per map/reduce
+	// attempt, a shuffle span per reduce job, and point events for injected
+	// faults, retries, stragglers and cancellations. Tracing is pure
+	// observation — it cannot change job output, counters or simulated
+	// seconds (pinned by the chaos trace-identity tests) — and a nil Tracer
+	// costs nothing on the hot path (no clock reads, no allocations; pinned
+	// by bench_test.go).
+	Tracer obs.Tracer
+	// Metrics, when non-nil, receives engine-level aggregates per job run:
+	// mr_jobs_total, mr_map_input_records_total, mr_map_output_records_total,
+	// mr_output_records_total, mr_shuffled_bytes_total, mr_task_retries_total,
+	// mr_wasted_records_total, the mr_simulated_seconds_total gauge and the
+	// mr_job_real_seconds histogram. Handles are resolved once in NewEngine,
+	// so the per-job cost is a handful of atomic adds.
+	Metrics *obs.Registry
+}
+
+// engineMetrics caches the registry handles the engine updates at the end
+// of every job, so Run never takes the registry mutex.
+type engineMetrics struct {
+	jobs, mapIn, mapOut, outRecs, shuffled, retries, wasted *obs.Counter
+	simSeconds                                              *obs.Gauge
+	jobReal                                                 *obs.Histogram
+}
+
+func newEngineMetrics(r *obs.Registry) *engineMetrics {
+	return &engineMetrics{
+		jobs:       r.Counter("mr_jobs_total"),
+		mapIn:      r.Counter("mr_map_input_records_total"),
+		mapOut:     r.Counter("mr_map_output_records_total"),
+		outRecs:    r.Counter("mr_output_records_total"),
+		shuffled:   r.Counter("mr_shuffled_bytes_total"),
+		retries:    r.Counter("mr_task_retries_total"),
+		wasted:     r.Counter("mr_wasted_records_total"),
+		simSeconds: r.Gauge("mr_simulated_seconds_total"),
+		jobReal:    r.Histogram("mr_job_real_seconds", []float64{0.001, 0.01, 0.1, 1, 10, 60}),
+	}
 }
 
 // Engine executes Jobs. It is safe for concurrent use by multiple
@@ -41,6 +82,8 @@ type Engine struct {
 	// sem is the engine-wide counting semaphore: every map and reduce task
 	// of every concurrent Run holds one slot while executing.
 	sem chan struct{}
+	// met caches metric handles when Config.Metrics is set.
+	met *engineMetrics
 	// TotalSimulated accumulates simulated seconds across all jobs run on
 	// this engine, so a pipeline can report an end-to-end modeled runtime.
 	mu             sync.Mutex
@@ -73,7 +116,11 @@ func NewEngine(cfg Config) *Engine {
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = 4
 	}
-	return &Engine{cfg: cfg, sem: make(chan struct{}, cfg.Parallelism)}
+	e := &Engine{cfg: cfg, sem: make(chan struct{}, cfg.Parallelism)}
+	if cfg.Metrics != nil {
+		e.met = newEngineMetrics(cfg.Metrics)
+	}
+	return e
 }
 
 // Default returns an engine with library defaults, suitable for tests and
@@ -82,6 +129,14 @@ func Default() *Engine { return NewEngine(Config{}) }
 
 // Cost returns the engine's configured cost model.
 func (e *Engine) Cost() CostModel { return e.cfg.Cost }
+
+// Tracer returns the engine's configured tracer (nil when tracing is off),
+// so higher layers — the pipeline's phase and run spans — emit into the
+// same sink the engine does.
+func (e *Engine) Tracer() obs.Tracer { return e.cfg.Tracer }
+
+// Metrics returns the engine's metrics registry (nil when disabled).
+func (e *Engine) Metrics() *obs.Registry { return e.cfg.Metrics }
 
 // TotalSimulatedSeconds reports the accumulated modeled runtime of all jobs
 // run so far.
@@ -177,6 +232,26 @@ func (e *Engine) Run(job *Job) (*Output, error) {
 		nb = 1
 	}
 
+	// Everything observability-related is gated on tr/e.met being non-nil:
+	// an untraced engine takes no clock readings and allocates nothing here.
+	tr := e.cfg.Tracer
+	var jobSpan obs.SpanID
+	var jobStart time.Time
+	if tr != nil {
+		jobSpan = obs.NewSpanID()
+		tr.Begin(obs.Start{ID: jobSpan, Parent: job.TraceParent, Kind: obs.KindJob, Name: job.Name})
+	}
+	if tr != nil || e.met != nil {
+		jobStart = time.Now()
+	}
+	endJobErr := func(err error) {
+		if tr != nil {
+			tr.End(obs.End{ID: jobSpan, Kind: obs.KindJob, Name: job.Name,
+				Outcome: obs.OutcomeError, Err: err.Error(),
+				RealSeconds: time.Since(jobStart).Seconds()})
+		}
+	}
+
 	// Run-scoped cooperative cancellation: the first permanent task failure
 	// closes cancelCh, and sibling tasks notice it between records, between
 	// attempts, and while queued on the semaphore — so a doomed job stops
@@ -212,7 +287,7 @@ mapLaunch:
 		go func(i int, split *Split) {
 			defer wg.Done()
 			defer func() { <-e.sem }()
-			out, c, fc, err := e.runMapTask(job, split, mapOnly, numReducers, cancelCh)
+			out, c, fc, err := e.runMapTask(job, split, mapOnly, numReducers, jobSpan, cancelCh)
 			mapFaults[i] = fc
 			if err != nil {
 				if !errors.Is(err, errTaskCancelled) {
@@ -226,6 +301,7 @@ mapLaunch:
 	}
 	wg.Wait()
 	if firstErr != nil {
+		endJobErr(firstErr)
 		return nil, firstErr
 	}
 
@@ -234,6 +310,18 @@ mapLaunch:
 	for i := range mapCounters {
 		counters.Add(mapCounters[i])
 		fault.add(mapFaults[i])
+	}
+
+	// The shuffle/merge step gets its own span (Task -1, Phase "shuffle")
+	// carrying the job's shuffle volume — mirroring the per-phase breakdown
+	// a Hadoop job page shows.
+	var shufSpan obs.SpanID
+	var shufStart time.Time
+	if tr != nil && !mapOnly {
+		shufSpan = obs.NewSpanID()
+		tr.Begin(obs.Start{ID: shufSpan, Parent: jobSpan, Kind: obs.KindTask,
+			Name: job.Name, Task: -1, Phase: "shuffle"})
+		shufStart = time.Now()
 	}
 
 	// Merge the per-task buffers into one contiguous run per reducer, in
@@ -254,6 +342,12 @@ mapLaunch:
 			merged = append(merged, mapOuts[i][r]...)
 		}
 		buckets[r] = merged
+	}
+	if tr != nil && !mapOnly {
+		tr.End(obs.End{ID: shufSpan, Kind: obs.KindTask, Name: job.Name,
+			Task: -1, Phase: "shuffle", Outcome: obs.OutcomeOK,
+			RealSeconds: time.Since(shufStart).Seconds(),
+			Counters:    Counters{ShuffledBytes: counters.ShuffledBytes}})
 	}
 
 	var outPairs []Pair
@@ -285,7 +379,7 @@ mapLaunch:
 			go func(r int, pairs []Pair) {
 				defer rwg.Done()
 				defer func() { <-e.sem }()
-				pout, c, fc, err := e.runReduceTask(job, r, pairs, cancelCh)
+				pout, c, fc, err := e.runReduceTask(job, r, pairs, jobSpan, cancelCh)
 				redFaults[r] = fc
 				if err != nil {
 					if !errors.Is(err, errTaskCancelled) {
@@ -299,6 +393,7 @@ mapLaunch:
 		}
 		rwg.Wait()
 		if firstErr != nil {
+			endJobErr(firstErr)
 			return nil, firstErr
 		}
 		total := 0
@@ -333,6 +428,25 @@ mapLaunch:
 	js.Counters.Add(counters)
 	js.SimulatedSeconds += out.SimulatedSeconds
 	e.mu.Unlock()
+	if tr != nil {
+		tr.End(obs.End{ID: jobSpan, Kind: obs.KindJob, Name: job.Name,
+			Outcome:          obs.OutcomeOK,
+			RealSeconds:      time.Since(jobStart).Seconds(),
+			SimulatedSeconds: out.SimulatedSeconds,
+			Counters:         counters, Wasted: fault.Wasted,
+			Retries: counters.TaskRetries})
+	}
+	if m := e.met; m != nil {
+		m.jobs.Inc()
+		m.mapIn.Add(counters.MapInputRecords)
+		m.mapOut.Add(counters.MapOutputRecords)
+		m.outRecs.Add(counters.OutputRecords)
+		m.shuffled.Add(counters.ShuffledBytes)
+		m.retries.Add(counters.TaskRetries)
+		m.wasted.Add(fault.Wasted.MapInputRecords + fault.Wasted.ReduceInputVals)
+		m.simSeconds.Add(out.SimulatedSeconds)
+		m.jobReal.Observe(time.Since(jobStart).Seconds())
+	}
 	return out, nil
 }
 
@@ -348,46 +462,100 @@ func (e *Engine) JobStatsByName() map[string]JobStats {
 	return out
 }
 
+// point emits a point event into the engine's tracer. Callers gate on
+// e.cfg.Tracer != nil so the untraced path pays nothing (not even the
+// TaskPhase→string conversion).
+func (e *Engine) point(span obs.SpanID, kind obs.PointKind, name string, task, attempt int, phase TaskPhase, seconds float64) {
+	e.cfg.Tracer.Point(obs.Point{Span: span, Kind: kind, Name: name,
+		Task: task, Attempt: attempt, Phase: phase.String(), Seconds: seconds})
+}
+
 // runTaskAttempts drives one task's attempt loop, shared by map and reduce
 // tasks: injected failures are retried up to MaxAttempts with the failed
 // attempt's counters diverted into the fault charge (never the job
 // counters), real errors abort immediately, and the loop bails out between
 // attempts when the run is cancelled. try returns the attempt's output, its
-// counters, and its simulated straggler delay.
-func runTaskAttempts[T any](e *Engine, cancel <-chan struct{},
-	try func(attempt int) (T, Counters, float64, error)) (T, Counters, faultCharge, error) {
+// counters, and its simulated straggler delay; it receives the attempt's
+// span so fault decision sites can attach point events to it.
+//
+// When tracing is on, every attempt gets a KindTask span under parent (the
+// job span) closed with its outcome: ok, fault (wasted counters attached),
+// cancelled, or error. A fault that will be retried additionally emits a
+// PointRetry on the job span; a task that gives up before starting an
+// attempt emits a PointCancel.
+func runTaskAttempts[T any](e *Engine, job *Job, phase TaskPhase, taskID int, parent obs.SpanID, cancel <-chan struct{},
+	try func(attempt int, span obs.SpanID) (T, Counters, float64, error)) (T, Counters, faultCharge, error) {
 	var zero T
 	var fc faultCharge
 	var lastErr error
 	var retries int64
+	tr := e.cfg.Tracer
 	for attempt := 0; attempt < e.cfg.MaxAttempts; attempt++ {
 		if cancelled(cancel) {
+			if tr != nil {
+				e.point(parent, obs.PointCancel, job.Name, taskID, attempt, phase, 0)
+			}
 			return zero, Counters{}, fc, errTaskCancelled
 		}
-		out, c, straggler, err := try(attempt)
+		var span obs.SpanID
+		var began time.Time
+		if tr != nil {
+			span = obs.NewSpanID()
+			tr.Begin(obs.Start{ID: span, Parent: parent, Kind: obs.KindTask,
+				Name: job.Name, Task: taskID, Attempt: attempt, Phase: phase.String()})
+			began = time.Now()
+		}
+		out, c, straggler, err := try(attempt, span)
 		fc.Straggler += straggler
 		if err == nil {
 			c.TaskRetries = retries
+			if tr != nil {
+				tr.End(obs.End{ID: span, Kind: obs.KindTask, Name: job.Name,
+					Task: taskID, Attempt: attempt, Phase: phase.String(),
+					Outcome:     obs.OutcomeOK,
+					RealSeconds: time.Since(began).Seconds(), SimulatedSeconds: straggler,
+					Counters: c, Retries: retries})
+			}
 			return out, c, fc, nil
 		}
 		lastErr = err
 		if !errors.Is(err, errInjectedFailure) {
+			if tr != nil {
+				outcome := obs.OutcomeError
+				if errors.Is(err, errTaskCancelled) {
+					outcome = obs.OutcomeCancelled
+				}
+				tr.End(obs.End{ID: span, Kind: obs.KindTask, Name: job.Name,
+					Task: taskID, Attempt: attempt, Phase: phase.String(),
+					Outcome: outcome, Err: err.Error(),
+					RealSeconds: time.Since(began).Seconds(), SimulatedSeconds: straggler})
+			}
 			return zero, Counters{}, fc, err
 		}
 		fc.Wasted.Add(c)
 		retries++
+		if tr != nil {
+			tr.End(obs.End{ID: span, Kind: obs.KindTask, Name: job.Name,
+				Task: taskID, Attempt: attempt, Phase: phase.String(),
+				Outcome: obs.OutcomeFault, Err: err.Error(),
+				RealSeconds: time.Since(began).Seconds(), SimulatedSeconds: straggler,
+				Wasted: c})
+			if attempt+1 < e.cfg.MaxAttempts {
+				e.point(parent, obs.PointRetry, job.Name, taskID, attempt, phase, 0)
+			}
+		}
 	}
 	return zero, Counters{}, fc, fmt.Errorf("task failed after %d attempts: %w", e.cfg.MaxAttempts, lastErr)
 }
 
 // runMapTask executes one map task with retry on injected failures.
-func (e *Engine) runMapTask(job *Job, split *Split, mapOnly bool, numReducers int, cancel <-chan struct{}) ([][]Pair, Counters, faultCharge, error) {
-	return runTaskAttempts(e, cancel, func(attempt int) ([][]Pair, Counters, float64, error) {
-		return e.tryMapTask(job, split, mapOnly, numReducers, attempt, cancel)
+func (e *Engine) runMapTask(job *Job, split *Split, mapOnly bool, numReducers int, jobSpan obs.SpanID, cancel <-chan struct{}) ([][]Pair, Counters, faultCharge, error) {
+	return runTaskAttempts(e, job, PhaseMap, split.ID, jobSpan, cancel, func(attempt int, span obs.SpanID) ([][]Pair, Counters, float64, error) {
+		return e.tryMapTask(job, split, mapOnly, numReducers, attempt, span, cancel)
 	})
 }
 
-func (e *Engine) tryMapTask(job *Job, split *Split, mapOnly bool, numReducers, attempt int, cancel <-chan struct{}) ([][]Pair, Counters, float64, error) {
+func (e *Engine) tryMapTask(job *Job, split *Split, mapOnly bool, numReducers, attempt int, span obs.SpanID, cancel <-chan struct{}) ([][]Pair, Counters, float64, error) {
 	var c Counters
 	nb := numReducers
 	if mapOnly {
@@ -399,6 +567,9 @@ func (e *Engine) tryMapTask(job *Job, split *Split, mapOnly bool, numReducers, a
 	if e.cfg.Faults != nil {
 		d := e.cfg.Faults.Decide(job.Name, PhaseMap, split.ID, attempt)
 		straggler = d.StragglerSeconds
+		if straggler > 0 && e.cfg.Tracer != nil {
+			e.point(span, obs.PointStraggler, job.Name, split.ID, attempt, PhaseMap, straggler)
+		}
 		if d.Fail {
 			// Fail partway through the split to exercise partial-output discard.
 			failAt = failIndex(d.FailFrac, split.NumRows())
@@ -436,6 +607,9 @@ func (e *Engine) tryMapTask(job *Job, split *Split, mapOnly bool, numReducers, a
 	n := split.NumRows()
 	for i := 0; i < n; i++ {
 		if i == failAt {
+			if e.cfg.Tracer != nil {
+				e.point(span, obs.PointFault, job.Name, split.ID, attempt, PhaseMap, 0)
+			}
 			return nil, c, straggler, errInjectedFailure
 		}
 		// Sampled cancellation poll: cheap enough to leave the record loop's
@@ -450,6 +624,9 @@ func (e *Engine) tryMapTask(job *Job, split *Split, mapOnly bool, numReducers, a
 		}
 	}
 	if n == failAt {
+		if e.cfg.Tracer != nil {
+			e.point(span, obs.PointFault, job.Name, split.ID, attempt, PhaseMap, 0)
+		}
 		return nil, c, straggler, errInjectedFailure
 	}
 	if err := mapper.Cleanup(ctx); err != nil {
@@ -460,7 +637,13 @@ func (e *Engine) tryMapTask(job *Job, split *Split, mapOnly bool, numReducers, a
 		if e.cfg.Faults != nil {
 			d := e.cfg.Faults.Decide(job.Name, PhaseCombine, split.ID, attempt)
 			straggler += d.StragglerSeconds
+			if d.StragglerSeconds > 0 && e.cfg.Tracer != nil {
+				e.point(span, obs.PointStraggler, job.Name, split.ID, attempt, PhaseCombine, d.StragglerSeconds)
+			}
 			if d.Fail {
+				if e.cfg.Tracer != nil {
+					e.point(span, obs.PointFault, job.Name, split.ID, attempt, PhaseCombine, 0)
+				}
 				return nil, c, straggler, errInjectedFailure
 			}
 		}
@@ -505,9 +688,9 @@ func combineBucket(cb Combiner, pairs []Pair, c *Counters) ([]Pair, error) {
 
 // runReduceTask executes one reduce task with the same retry loop as map
 // tasks: a failed attempt is re-run from its immutable shuffled bucket.
-func (e *Engine) runReduceTask(job *Job, taskID int, pairs []Pair, cancel <-chan struct{}) ([]Pair, Counters, faultCharge, error) {
-	return runTaskAttempts(e, cancel, func(attempt int) ([]Pair, Counters, float64, error) {
-		return e.tryReduceTask(job, taskID, pairs, attempt, cancel)
+func (e *Engine) runReduceTask(job *Job, taskID int, pairs []Pair, jobSpan obs.SpanID, cancel <-chan struct{}) ([]Pair, Counters, faultCharge, error) {
+	return runTaskAttempts(e, job, PhaseReduce, taskID, jobSpan, cancel, func(attempt int, span obs.SpanID) ([]Pair, Counters, float64, error) {
+		return e.tryReduceTask(job, taskID, pairs, attempt, span, cancel)
 	})
 }
 
@@ -518,13 +701,16 @@ func (e *Engine) runReduceTask(job *Job, taskID int, pairs []Pair, cancel <-chan
 // deterministic (map-task order). An injected failure aborts the key loop
 // at a plan-chosen position, discarding the attempt's partial output and
 // counters exactly like a dying Hadoop reduce attempt.
-func (e *Engine) tryReduceTask(job *Job, taskID int, pairs []Pair, attempt int, cancel <-chan struct{}) ([]Pair, Counters, float64, error) {
+func (e *Engine) tryReduceTask(job *Job, taskID int, pairs []Pair, attempt int, span obs.SpanID, cancel <-chan struct{}) ([]Pair, Counters, float64, error) {
 	var c Counters
 	var straggler float64
 	failAt := -1 // threshold in consumed input pairs, -1 = never
 	if e.cfg.Faults != nil {
 		d := e.cfg.Faults.Decide(job.Name, PhaseReduce, taskID, attempt)
 		straggler = d.StragglerSeconds
+		if straggler > 0 && e.cfg.Tracer != nil {
+			e.point(span, obs.PointStraggler, job.Name, taskID, attempt, PhaseReduce, straggler)
+		}
 		if d.Fail {
 			failAt = failIndex(d.FailFrac, len(pairs))
 		}
@@ -539,6 +725,9 @@ func (e *Engine) tryReduceTask(job *Job, taskID int, pairs []Pair, attempt int, 
 	consumed := 0
 	err := groupSorted(pairs, func(k string, values []any) error {
 		if failAt >= 0 && consumed >= failAt {
+			if e.cfg.Tracer != nil {
+				e.point(span, obs.PointFault, job.Name, taskID, attempt, PhaseReduce, 0)
+			}
 			return errInjectedFailure
 		}
 		if cancelled(cancel) {
@@ -555,6 +744,9 @@ func (e *Engine) tryReduceTask(job *Job, taskID int, pairs []Pair, attempt int, 
 	if failAt >= 0 && consumed >= failAt {
 		// FailFrac ≈ 1: the attempt dies after its last key, before the
 		// output is committed.
+		if e.cfg.Tracer != nil {
+			e.point(span, obs.PointFault, job.Name, taskID, attempt, PhaseReduce, 0)
+		}
 		return nil, c, straggler, errInjectedFailure
 	}
 	return out, c, straggler, nil

@@ -21,6 +21,8 @@ package mr
 
 import (
 	"fmt"
+
+	"p3cmr/internal/obs"
 )
 
 // Split is one input partition of a vector data set. Rows holds
@@ -132,6 +134,10 @@ type Job struct {
 	// task (the paper ships candidate signatures and RSSC bit masks this
 	// way, §5.3).
 	Cache map[string]any
+	// TraceParent is the span this job's trace span nests under (a pipeline
+	// phase span, typically). Zero means root; ignored without a
+	// Config.Tracer.
+	TraceParent obs.SpanID
 }
 
 // Output is the collected result of a job.
@@ -209,37 +215,10 @@ func (o *Output) Single(key string) (any, bool) {
 	return v, n == 1
 }
 
-// Counters accumulate job statistics.
-type Counters struct {
-	MapInputRecords  int64
-	MapOutputRecords int64
-	CombineInput     int64
-	CombineOutput    int64
-	ReduceInputKeys  int64
-	ReduceInputVals  int64
-	OutputRecords    int64
-	ShuffledBytes    int64
-	TaskRetries      int64
-}
-
-// Add accumulates other into c.
-func (c *Counters) Add(other Counters) {
-	c.MapInputRecords += other.MapInputRecords
-	c.MapOutputRecords += other.MapOutputRecords
-	c.CombineInput += other.CombineInput
-	c.CombineOutput += other.CombineOutput
-	c.ReduceInputKeys += other.ReduceInputKeys
-	c.ReduceInputVals += other.ReduceInputVals
-	c.OutputRecords += other.OutputRecords
-	c.ShuffledBytes += other.ShuffledBytes
-	c.TaskRetries += other.TaskRetries
-}
-
-// String summarizes the counters.
-func (c Counters) String() string {
-	return fmt.Sprintf("mapIn=%d mapOut=%d redKeys=%d out=%d shuffledB=%d retries=%d",
-		c.MapInputRecords, c.MapOutputRecords, c.ReduceInputKeys, c.OutputRecords, c.ShuffledBytes, c.TaskRetries)
-}
+// Counters accumulate job statistics. The type lives in internal/obs (so
+// trace span events can embed counter deltas without an import cycle);
+// this alias keeps `mr.Counters` the engine-facing name.
+type Counters = obs.Counters
 
 // TaskContext is handed to every task attempt. Emit routes a pair into the
 // shuffle (for mappers) or into the job output (for reducers).

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// jsonlLine is the wire form of one trace event: one JSON object per line.
+// Identity fields repeat on end lines so a trace is greppable without
+// reconstructing span state; zero-valued optionals are omitted to keep
+// traces compact.
+type jsonlLine struct {
+	Ev      string    `json:"ev"` // "begin" | "end" | "point"
+	TS      float64   `json:"ts"` // seconds since the tracer was created
+	ID      int64     `json:"id,omitempty"`
+	Parent  int64     `json:"parent,omitempty"`
+	Span    int64     `json:"span,omitempty"` // point events: enclosing span
+	Kind    string    `json:"kind,omitempty"`
+	Name    string    `json:"name,omitempty"`
+	Task    *int      `json:"task,omitempty"` // pointer: task 0 is valid, -1 = shuffle
+	Attempt int       `json:"attempt,omitempty"`
+	Phase   string    `json:"phase,omitempty"`
+	Point   string    `json:"point,omitempty"`
+	Outcome string    `json:"outcome,omitempty"`
+	Err     string    `json:"err,omitempty"`
+	RealS   float64   `json:"real_s,omitempty"`
+	SimS    float64   `json:"sim_s,omitempty"`
+	Seconds float64   `json:"seconds,omitempty"`
+	Retries int64     `json:"retries,omitempty"`
+	Ctrs    *Counters `json:"counters,omitempty"`
+	Wasted  *Counters `json:"wasted,omitempty"`
+}
+
+// JSONLTracer writes the event stream as JSON Lines to an io.Writer —
+// the `-trace out.jsonl` format of cmd/p3crun. It buffers internally;
+// call Close (or Flush) before reading the file. Safe for concurrent use.
+//
+// Write errors are sticky and reported by Close/Err — tracing must never
+// fail the traced computation, so events after an error are dropped.
+type JSONLTracer struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	start time.Time
+	err   error
+}
+
+// NewJSONLTracer wraps w. The caller retains ownership of w (Close flushes
+// the tracer but does not close w).
+func NewJSONLTracer(w io.Writer) *JSONLTracer {
+	return &JSONLTracer{w: bufio.NewWriter(w), start: time.Now()}
+}
+
+func (t *JSONLTracer) write(line *jsonlLine) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	line.TS = time.Since(t.start).Seconds()
+	b, err := json.Marshal(line)
+	if err != nil {
+		t.err = err
+		return
+	}
+	if _, err := t.w.Write(b); err != nil {
+		t.err = err
+		return
+	}
+	t.err = t.w.WriteByte('\n')
+}
+
+func taskPtr(kind SpanKind, task int) *int {
+	if kind != KindTask {
+		return nil
+	}
+	return &task
+}
+
+func ctrPtr(c Counters) *Counters {
+	if c == (Counters{}) {
+		return nil
+	}
+	return &c
+}
+
+// Begin implements Tracer.
+func (t *JSONLTracer) Begin(s Start) {
+	t.write(&jsonlLine{
+		Ev:      "begin",
+		ID:      int64(s.ID),
+		Parent:  int64(s.Parent),
+		Kind:    s.Kind.String(),
+		Name:    s.Name,
+		Task:    taskPtr(s.Kind, s.Task),
+		Attempt: s.Attempt,
+		Phase:   s.Phase,
+	})
+}
+
+// End implements Tracer.
+func (t *JSONLTracer) End(e End) {
+	t.write(&jsonlLine{
+		Ev:      "end",
+		ID:      int64(e.ID),
+		Kind:    e.Kind.String(),
+		Name:    e.Name,
+		Task:    taskPtr(e.Kind, e.Task),
+		Attempt: e.Attempt,
+		Phase:   e.Phase,
+		Outcome: e.Outcome.String(),
+		Err:     e.Err,
+		RealS:   e.RealSeconds,
+		SimS:    e.SimulatedSeconds,
+		Retries: e.Retries,
+		Ctrs:    ctrPtr(e.Counters),
+		Wasted:  ctrPtr(e.Wasted),
+	})
+}
+
+// Point implements Tracer.
+func (t *JSONLTracer) Point(p Point) {
+	t.write(&jsonlLine{
+		Ev:      "point",
+		Span:    int64(p.Span),
+		Point:   p.Kind.String(),
+		Name:    p.Name,
+		Task:    taskPtr(KindTask, p.Task),
+		Attempt: p.Attempt,
+		Phase:   p.Phase,
+		Seconds: p.Seconds,
+	})
+}
+
+// Flush forces buffered lines out.
+func (t *JSONLTracer) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Close flushes and returns the first write error, if any.
+func (t *JSONLTracer) Close() error {
+	if err := t.Flush(); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Err reports the sticky write error.
+func (t *JSONLTracer) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// MemTracer records every event in memory — the test sink. Besides raw
+// access it can structurally validate the captured stream: unique span
+// IDs, every span closed exactly once with matching identity, parents
+// opened before children, and parent kinds strictly shallower than child
+// kinds (run > phase > job > task).
+type MemTracer struct {
+	mu     sync.Mutex
+	starts []Start
+	ends   []End
+	points []Point
+}
+
+// NewMemTracer returns an empty in-memory tracer.
+func NewMemTracer() *MemTracer { return &MemTracer{} }
+
+// Begin implements Tracer.
+func (m *MemTracer) Begin(s Start) {
+	m.mu.Lock()
+	m.starts = append(m.starts, s)
+	m.mu.Unlock()
+}
+
+// End implements Tracer.
+func (m *MemTracer) End(e End) {
+	m.mu.Lock()
+	m.ends = append(m.ends, e)
+	m.mu.Unlock()
+}
+
+// Point implements Tracer.
+func (m *MemTracer) Point(p Point) {
+	m.mu.Lock()
+	m.points = append(m.points, p)
+	m.mu.Unlock()
+}
+
+// Starts returns a copy of the recorded span openings, in arrival order.
+func (m *MemTracer) Starts() []Start {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Start(nil), m.starts...)
+}
+
+// Ends returns a copy of the recorded span closings, in arrival order.
+func (m *MemTracer) Ends() []End {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]End(nil), m.ends...)
+}
+
+// Points returns a copy of the recorded point events, in arrival order.
+func (m *MemTracer) Points() []Point {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Point(nil), m.points...)
+}
+
+// SpansOf returns the openings of the given kind, in arrival order.
+func (m *MemTracer) SpansOf(kind SpanKind) []Start {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []Start
+	for _, s := range m.starts {
+		if s.Kind == kind {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// EndOf returns the closing event of the given span.
+func (m *MemTracer) EndOf(id SpanID) (End, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, e := range m.ends {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return End{}, false
+}
+
+// StartOf returns the opening event of the given span.
+func (m *MemTracer) StartOf(id SpanID) (Start, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range m.starts {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Start{}, false
+}
+
+// Validate checks the structural invariants of the captured stream and
+// returns the first violation. A valid stream has: non-zero unique span
+// IDs; parents (when set) opened before their children, with a strictly
+// shallower kind; every span closed exactly once, with Kind/Name matching
+// its opening; and every point event attached to an opened span.
+func (m *MemTracer) Validate() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	open := make(map[SpanID]Start, len(m.starts))
+	for _, s := range m.starts {
+		if s.ID == 0 {
+			return fmt.Errorf("obs: span %q opened with zero ID", s.Name)
+		}
+		if _, dup := open[s.ID]; dup {
+			return fmt.Errorf("obs: span ID %d opened twice", s.ID)
+		}
+		if s.Parent != 0 {
+			parent, ok := open[s.Parent]
+			if !ok {
+				return fmt.Errorf("obs: span %d (%s %q) has unopened parent %d", s.ID, s.Kind, s.Name, s.Parent)
+			}
+			if parent.Kind >= s.Kind {
+				return fmt.Errorf("obs: span %d (%s %q) nested under %s %q — kinds must nest run→phase→job→task",
+					s.ID, s.Kind, s.Name, parent.Kind, parent.Name)
+			}
+		}
+		open[s.ID] = s
+	}
+	closed := make(map[SpanID]bool, len(m.ends))
+	for _, e := range m.ends {
+		s, ok := open[e.ID]
+		if !ok {
+			return fmt.Errorf("obs: end for unopened span %d (%s %q)", e.ID, e.Kind, e.Name)
+		}
+		if closed[e.ID] {
+			return fmt.Errorf("obs: span %d (%s %q) closed twice", e.ID, e.Kind, e.Name)
+		}
+		if e.Kind != s.Kind || e.Name != s.Name {
+			return fmt.Errorf("obs: span %d closed as (%s %q), opened as (%s %q)", e.ID, e.Kind, e.Name, s.Kind, s.Name)
+		}
+		closed[e.ID] = true
+	}
+	for id, s := range open {
+		if !closed[id] {
+			return fmt.Errorf("obs: span %d (%s %q) never closed", id, s.Kind, s.Name)
+		}
+	}
+	for _, p := range m.points {
+		if _, ok := open[p.Span]; !ok {
+			return fmt.Errorf("obs: point %s on unopened span %d", p.Kind, p.Span)
+		}
+	}
+	return nil
+}
+
+// Reset drops everything recorded so far.
+func (m *MemTracer) Reset() {
+	m.mu.Lock()
+	m.starts, m.ends, m.points = nil, nil, nil
+	m.mu.Unlock()
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"text/tabwriter"
+)
+
+// ReportCollector aggregates the span stream into an end-of-run report —
+// the one-machine equivalent of a Hadoop job-tracker page: a per-phase
+// cost breakdown (the shape of the paper's Fig. 7) and a per-job-name
+// table of records in/out, shuffle volume, retries, wasted work, and
+// simulated vs. real seconds. Attach it via Multi alongside other sinks
+// and render with WriteReport once the run finishes.
+type ReportCollector struct {
+	mu       sync.Mutex
+	phases   []End // phase spans, in completion order
+	jobs     map[string]*jobAgg
+	jobOrder []string // first-completion order
+	runs     []End    // run spans, in completion order
+	attempts int
+	faults   int
+	cancels  int
+}
+
+// jobAgg accumulates all executions of one job name.
+type jobAgg struct {
+	runs     int
+	counters Counters
+	wasted   Counters
+	simS     float64
+	realS    float64
+}
+
+// NewReportCollector returns an empty collector.
+func NewReportCollector() *ReportCollector {
+	return &ReportCollector{jobs: make(map[string]*jobAgg)}
+}
+
+// Begin implements Tracer.
+func (r *ReportCollector) Begin(Start) {}
+
+// Point implements Tracer.
+func (r *ReportCollector) Point(p Point) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p.Kind == PointCancel {
+		r.cancels++
+	}
+}
+
+// End implements Tracer.
+func (r *ReportCollector) End(e End) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch e.Kind {
+	case KindRun:
+		r.runs = append(r.runs, e)
+	case KindPhase:
+		r.phases = append(r.phases, e)
+	case KindJob:
+		agg := r.jobs[e.Name]
+		if agg == nil {
+			agg = &jobAgg{}
+			r.jobs[e.Name] = agg
+			r.jobOrder = append(r.jobOrder, e.Name)
+		}
+		agg.runs++
+		agg.counters.Add(e.Counters)
+		agg.wasted.Add(e.Wasted)
+		agg.simS += e.SimulatedSeconds
+		agg.realS += e.RealSeconds
+	case KindTask:
+		if e.Phase != "shuffle" {
+			r.attempts++
+		}
+		if e.Outcome == OutcomeFault {
+			r.faults++
+		}
+		if e.Outcome == OutcomeCancelled {
+			r.cancels++
+		}
+	}
+}
+
+// wastedRecords summarizes discarded work as a record count: map input
+// re-read plus reduce values re-consumed by failed attempts.
+func wastedRecords(c Counters) int64 {
+	return c.MapInputRecords + c.ReduceInputVals
+}
+
+// WriteReport renders the collected spans. Safe to call once the traced
+// run has finished (concurrent mutation is locked out, but a mid-run
+// report shows only completed spans).
+func (r *ReportCollector) WriteReport(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	var totalJobs int
+	var total jobAgg
+	for _, name := range r.jobOrder {
+		agg := r.jobs[name]
+		totalJobs += agg.runs
+		total.counters.Add(agg.counters)
+		total.wasted.Add(agg.wasted)
+		total.simS += agg.simS
+		total.realS += agg.realS
+	}
+	if _, err := fmt.Fprintf(w,
+		"run summary: %d jobs, %d task attempts (%d faulted, %d cancelled), %d retries, %d wasted records, %.3f simulated s, %.3f real s\n",
+		totalJobs, r.attempts, r.faults, r.cancels,
+		total.counters.TaskRetries, wastedRecords(total.wasted), total.simS, total.realS); err != nil {
+		return err
+	}
+
+	if len(r.phases) > 0 {
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "\nphase\tmap in\tshuffled B\tretries\tsim s\treal s")
+		for _, ph := range r.phases {
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.3f\t%.3f\n",
+				ph.Name, ph.Counters.MapInputRecords, ph.Counters.ShuffledBytes,
+				ph.Retries, ph.SimulatedSeconds, ph.RealSeconds)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "\njob\truns\tmap in\tmap out\tred keys\tred vals\tout\tshuffled B\tretries\twasted rec\tsim s\treal s")
+	for _, name := range r.jobOrder {
+		agg := r.jobs[name]
+		c := agg.counters
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.3f\t%.3f\n",
+			name, agg.runs, c.MapInputRecords, c.MapOutputRecords,
+			c.ReduceInputKeys, c.ReduceInputVals, c.OutputRecords, c.ShuffledBytes,
+			c.TaskRetries, wastedRecords(agg.wasted), agg.simS, agg.realS)
+	}
+	return tw.Flush()
+}
+
+// Jobs returns the number of distinct job names collected.
+func (r *ReportCollector) Jobs() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.jobs)
+}

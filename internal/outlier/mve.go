@@ -9,6 +9,7 @@ import (
 	"p3cmr/internal/em"
 	"p3cmr/internal/linalg"
 	"p3cmr/internal/mr"
+	"p3cmr/internal/obs"
 	"p3cmr/internal/stats"
 )
 
@@ -109,7 +110,7 @@ func mveEstimate(points []float64, d int, rng *rand.Rand) (mu []float64, cov *li
 // reservoir sample, the driver fits the resampling MVE per cluster, and two
 // jobs re-estimate mean/covariance from the points inside each cluster's
 // ellipsoid core (mirroring the MVB jobs of §5.5).
-func mveModel(engine *mr.Engine, splits []*mr.Split, model *em.Model) (*em.Model, error) {
+func mveModel(engine *mr.Engine, splits []*mr.Split, model *em.Model, trace obs.SpanID) (*em.Model, error) {
 	if err := model.Prepare(); err != nil {
 		return nil, err
 	}
@@ -120,8 +121,9 @@ func mveModel(engine *mr.Engine, splits []*mr.Split, model *em.Model) (*em.Model
 	// the driver merges (a merged reservoir of reservoirs is not a uniform
 	// sample, but the MVE only needs a representative spread).
 	job := &mr.Job{
-		Name:   "mve-sample",
-		Splits: splits,
+		Name:        "mve-sample",
+		Splits:      splits,
+		TraceParent: trace,
 		NewMapper: func() mr.Mapper {
 			return &sampleMapper{model: model, cap: mveSampleCap}
 		},
@@ -163,11 +165,11 @@ func mveModel(engine *mr.Engine, splits []*mr.Split, model *em.Model) (*em.Model
 		return nil, err
 	}
 	core := stats.ChiSquareCritical(0.5, d)
-	means, counts, err := ellipsoidMeans(engine, splits, robust, core)
+	means, counts, err := ellipsoidMeans(engine, splits, robust, core, trace)
 	if err != nil {
 		return nil, err
 	}
-	covs, err := ellipsoidCovariances(engine, splits, robust, core, means)
+	covs, err := ellipsoidCovariances(engine, splits, robust, core, means, trace)
 	if err != nil {
 		return nil, err
 	}
@@ -238,12 +240,13 @@ func (m *sampleMapper) Cleanup(ctx *mr.TaskContext) error {
 // ellipsoidMeans/ellipsoidCovariances mirror ballMeans/ballCovariances with
 // Mahalanobis-ellipsoid membership: x belongs to its cluster's core when
 // (x−µ)ᵀΣ⁻¹(x−µ) ≤ radius2 under the robust model.
-func ellipsoidMeans(engine *mr.Engine, splits []*mr.Split, robust *em.Model, radius2 float64) ([][]float64, []int64, error) {
+func ellipsoidMeans(engine *mr.Engine, splits []*mr.Split, robust *em.Model, radius2 float64, trace obs.SpanID) ([][]float64, []int64, error) {
 	d := len(robust.Attrs)
 	k := robust.K()
 	job := &mr.Job{
-		Name:   "mve-mean",
-		Splits: splits,
+		Name:        "mve-mean",
+		Splits:      splits,
+		TraceParent: trace,
 		NewMapper: func() mr.Mapper {
 			return &inEllipsoidMapper{model: robust, radius2: radius2, emitCov: false}
 		},
@@ -285,12 +288,13 @@ func ellipsoidMeans(engine *mr.Engine, splits []*mr.Split, robust *em.Model, rad
 	return means, counts, nil
 }
 
-func ellipsoidCovariances(engine *mr.Engine, splits []*mr.Split, robust *em.Model, radius2 float64, means [][]float64) ([]*linalg.Matrix, error) {
+func ellipsoidCovariances(engine *mr.Engine, splits []*mr.Split, robust *em.Model, radius2 float64, means [][]float64, trace obs.SpanID) ([]*linalg.Matrix, error) {
 	d := len(robust.Attrs)
 	k := robust.K()
 	job := &mr.Job{
-		Name:   "mve-cov",
-		Splits: splits,
+		Name:        "mve-cov",
+		Splits:      splits,
+		TraceParent: trace,
 		NewMapper: func() mr.Mapper {
 			return &inEllipsoidMapper{model: robust, radius2: radius2, emitCov: true, means: means}
 		},

@@ -22,6 +22,7 @@ import (
 	"p3cmr/internal/em"
 	"p3cmr/internal/linalg"
 	"p3cmr/internal/mr"
+	"p3cmr/internal/obs"
 	"p3cmr/internal/stats"
 )
 
@@ -58,18 +59,18 @@ const OutlierLabel = -1
 // level alpha. With method MVB the cluster statistics are first re-estimated
 // robustly with three additional MR jobs. The returned labels hold a cluster
 // index or OutlierLabel per global point index; n must be the total point
-// count across splits.
-func Detect(engine *mr.Engine, splits []*mr.Split, model *em.Model, n int, method Method, alpha float64) ([]int, error) {
+// count across splits. trace is the span the jobs nest under (0 = untraced).
+func Detect(engine *mr.Engine, splits []*mr.Split, model *em.Model, n int, method Method, alpha float64, trace obs.SpanID) ([]int, error) {
 	testModel := model
 	switch method {
 	case MVB:
-		robust, err := robustModel(engine, splits, model)
+		robust, err := robustModel(engine, splits, model, trace)
 		if err != nil {
 			return nil, err
 		}
 		testModel = robust
 	case MVE:
-		robust, err := mveModel(engine, splits, model)
+		robust, err := mveModel(engine, splits, model, trace)
 		if err != nil {
 			return nil, err
 		}
@@ -86,8 +87,9 @@ func Detect(engine *mr.Engine, splits []*mr.Split, model *em.Model, n int, metho
 	crit := stats.ChiSquareCritical(alpha, len(model.Attrs))
 
 	job := &mr.Job{
-		Name:   "outlier-detect",
-		Splits: splits,
+		Name:        "outlier-detect",
+		Splits:      splits,
+		TraceParent: trace,
 		NewMapper: func() mr.Mapper {
 			return &odMapper{assign: model, test: testModel, crit: crit}
 		},
@@ -151,7 +153,7 @@ type ballStat struct {
 
 // robustModel performs the three MVB jobs of §5.5 and returns a model with
 // the robust means/covariances (weights and Attrs copied from model).
-func robustModel(engine *mr.Engine, splits []*mr.Split, model *em.Model) (*em.Model, error) {
+func robustModel(engine *mr.Engine, splits []*mr.Split, model *em.Model, trace obs.SpanID) (*em.Model, error) {
 	if err := model.Prepare(); err != nil {
 		return nil, err
 	}
@@ -161,8 +163,9 @@ func robustModel(engine *mr.Engine, splits []*mr.Split, model *em.Model) (*em.Mo
 	// Job 1: per-split medians and radii per cluster; reducer aggregates by
 	// dimension-wise median of means and median of radii.
 	job1 := &mr.Job{
-		Name:   "mvb-ball",
-		Splits: splits,
+		Name:        "mvb-ball",
+		Splits:      splits,
+		TraceParent: trace,
 		NewMapper: func() mr.Mapper {
 			return &ballMapper{model: model}
 		},
@@ -204,11 +207,11 @@ func robustModel(engine *mr.Engine, splits []*mr.Split, model *em.Model) (*em.Mo
 
 	// Jobs 2+3: mean then covariance of the in-ball points per cluster,
 	// exactly as the EM initialization computes its statistics.
-	means, counts, err := ballMeans(engine, splits, model, balls)
+	means, counts, err := ballMeans(engine, splits, model, balls, trace)
 	if err != nil {
 		return nil, err
 	}
-	covs, err := ballCovariances(engine, splits, model, balls, means)
+	covs, err := ballCovariances(engine, splits, model, balls, means, trace)
 	if err != nil {
 		return nil, err
 	}
@@ -292,12 +295,13 @@ type meanStat struct {
 	Count int64
 }
 
-func ballMeans(engine *mr.Engine, splits []*mr.Split, model *em.Model, balls []*ballStat) ([][]float64, []int64, error) {
+func ballMeans(engine *mr.Engine, splits []*mr.Split, model *em.Model, balls []*ballStat, trace obs.SpanID) ([][]float64, []int64, error) {
 	d := len(model.Attrs)
 	k := model.K()
 	job := &mr.Job{
-		Name:   "mvb-mean",
-		Splits: splits,
+		Name:        "mvb-mean",
+		Splits:      splits,
+		TraceParent: trace,
 		NewMapper: func() mr.Mapper {
 			return &inBallMapper{model: model, balls: balls, emitCov: false}
 		},
@@ -345,12 +349,13 @@ type scatterStat struct {
 	Count int64
 }
 
-func ballCovariances(engine *mr.Engine, splits []*mr.Split, model *em.Model, balls []*ballStat, means [][]float64) ([]*linalg.Matrix, error) {
+func ballCovariances(engine *mr.Engine, splits []*mr.Split, model *em.Model, balls []*ballStat, means [][]float64, trace obs.SpanID) ([]*linalg.Matrix, error) {
 	d := len(model.Attrs)
 	k := model.K()
 	job := &mr.Job{
-		Name:   "mvb-cov",
-		Splits: splits,
+		Name:        "mvb-cov",
+		Splits:      splits,
+		TraceParent: trace,
 		NewMapper: func() mr.Mapper {
 			return &inBallMapper{model: model, balls: balls, emitCov: true, means: means}
 		},
