@@ -1,17 +1,28 @@
-# Build/test entry points. `make ci` is the full PR gate: vet, build, the
-# whole test suite (with test-order shuffling so order dependence can't
-# creep in), the race detector over the engine's concurrent merge path, the
-# chaos/fault suite under -race, and one pass of the engine
-# micro-benchmarks (compile + smoke, not timing).
+# Build/test entry points. `make ci` is the full PR gate: vet, the p3cvet
+# contract analyzers, build, the whole test suite (with test-order
+# shuffling so order dependence can't creep in), the race detector over the
+# engine's concurrent merge path, the chaos/fault suite under -race, and
+# one pass of the engine micro-benchmarks (compile + smoke, not timing).
 
 GO ?= go
 
-.PHONY: ci vet build test race bench chaos trace trace-demo
+.PHONY: ci vet lint lint-fix-check build test race bench chaos trace trace-demo
 
-ci: vet build test race chaos trace bench
+ci: vet lint build test race chaos trace bench
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific contract analyzers (determinism, retry safety, zero-cost
+# tracing). Exits nonzero on any finding; see cmd/p3cvet and DESIGN.md §3e.
+lint:
+	$(GO) run ./cmd/p3cvet ./...
+
+# Assert the repo itself is finding-free — the gate that keeps fixed
+# violations fixed. Identical to `make lint` today, spelled separately so
+# CI output names the contract being enforced.
+lint-fix-check:
+	@$(GO) run ./cmd/p3cvet ./... && echo "p3cvet: no findings"
 
 build:
 	$(GO) build ./...
@@ -36,10 +47,10 @@ trace:
 	$(GO) test -race -run 'Trace|Obs|Observer|Metrics|Report|JSONL' ./...
 
 # Benchmarks with a machine-readable summary: benchjson tees the raw
-# output through and writes BENCH_PR3.json for cross-PR baseline diffs.
+# output through and writes BENCH_PR4.json for cross-PR baseline diffs.
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x -benchmem ./internal/mr/ \
-		| $(GO) run ./cmd/benchjson -out BENCH_PR3.json
+		| $(GO) run ./cmd/benchjson -o BENCH_PR4.json
 
 # End-to-end trace demo: generate a small data set, cluster it with
 # tracing, the per-job report, and the cost model enabled, then show the

@@ -2,7 +2,7 @@
 // machine-readable JSON file so benchmark baselines can be diffed across
 // PRs. It reads the benchmark output on stdin, echoes every line to stdout
 // unchanged (so it can sit at the end of a pipe without hiding anything),
-// and writes one JSON object per benchmark to the -out file:
+// and writes one JSON object per benchmark to the -out (shorthand -o) file:
 //
 //	go test -bench . -benchmem ./internal/mr/ | benchjson -out BENCH.json
 //
@@ -37,9 +37,10 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\
 
 func main() {
 	out := flag.String("out", "", "write the JSON summary to this file (required)")
+	flag.StringVar(out, "o", "", "shorthand for -out")
 	flag.Parse()
 	if *out == "" {
-		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
+		fmt.Fprintln(os.Stderr, "benchjson: -out (or -o) is required")
 		os.Exit(1)
 	}
 

@@ -1,0 +1,75 @@
+// Command p3cvet runs the project's contract-enforcing static analyzers
+// over the module: detclock (wall clock is observability-only), detrand
+// (randomness is seeded per identity), maporder (no output in map iteration
+// order), reducermut (reducers treat shuffled values as read-only), and
+// tracenil (Tracer/Metrics calls are nil-guarded). Findings print as
+//
+//	file:line: [analyzer] message
+//
+// and the exit status is nonzero when any finding survives suppression.
+// A finding is suppressed by a `//lint:allow <analyzer> <reason>` comment on
+// the same line or the line above; allows that suppress nothing are
+// themselves reported, so stale suppressions cannot accumulate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"p3cmr/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: p3cvet [flags] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Packages follow go-tool patterns relative to the working directory\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "(default ./...). Flags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	if *only != "" {
+		var err error
+		analyzers, err = lint.ByName(*only)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p3cvet:", err)
+			os.Exit(2)
+		}
+	}
+
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p3cvet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(dir, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p3cvet:", err)
+		os.Exit(2)
+	}
+
+	findings := lint.Run(pkgs, analyzers)
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "p3cvet:", err)
+			os.Exit(2)
+		}
+	} else {
+		lint.WriteText(os.Stdout, findings)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

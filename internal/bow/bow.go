@@ -18,6 +18,7 @@ import (
 	"p3cmr/internal/dataset"
 	"p3cmr/internal/eval"
 	"p3cmr/internal/mr"
+	"p3cmr/internal/obs"
 	"p3cmr/internal/outlier"
 	"p3cmr/internal/signature"
 )
@@ -87,7 +88,7 @@ func Run(engine *mr.Engine, data *dataset.Dataset, params Params) (*Result, erro
 	if params.SamplesPerReducer <= 0 {
 		return nil, fmt.Errorf("bow: SamplesPerReducer must be positive")
 	}
-	start := time.Now()
+	start := obs.Now()
 	n := data.N()
 	if n == 0 {
 		return &Result{}, nil
@@ -145,7 +146,7 @@ func Run(engine *mr.Engine, data *dataset.Dataset, params Params) (*Result, erro
 			RawSignatures:    len(raw),
 			MergedSignatures: len(merged),
 			PassesPerBlock:   passes,
-			WallTime:         time.Since(start),
+			WallTime:         obs.Since(start),
 		},
 	}
 	res.Stats.SimulatedSeconds = ScheduleSeconds(engine.Cost(), params.Reducers, n, params.SamplesPerReducer, passes)

@@ -45,7 +45,7 @@ func Run(engine *mr.Engine, data *dataset.Dataset, params Params) (*Result, erro
 	if err := data.Validate(); err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := obs.Now()
 	jobs0 := engine.JobsRun()
 	sim0 := engine.TotalSimulatedSeconds()
 	counters0 := engine.TotalCounters()
@@ -76,7 +76,7 @@ func Run(engine *mr.Engine, data *dataset.Dataset, params Params) (*Result, erro
 		w := engine.TotalWasted()
 		w.Sub(wasted0)
 		e := obs.End{ID: p.runSpan, Kind: obs.KindRun, Name: "p3c-pipeline",
-			RealSeconds:      time.Since(start).Seconds(),
+			RealSeconds:      obs.Since(start).Seconds(),
 			SimulatedSeconds: engine.TotalSimulatedSeconds() - sim0,
 			Counters:         c, Wasted: w, Retries: c.TaskRetries}
 		if err != nil {
@@ -88,7 +88,7 @@ func Run(engine *mr.Engine, data *dataset.Dataset, params Params) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
-	res.Stats.WallTime = time.Since(start)
+	res.Stats.WallTime = obs.Since(start)
 	res.Stats.Jobs = engine.JobsRun() - jobs0
 	res.Stats.SimulatedSeconds = engine.TotalSimulatedSeconds() - sim0
 	c := engine.TotalCounters()
@@ -123,7 +123,7 @@ func (p *pipeline) beginPhase(name string) *phaseScope {
 		wst0: p.engine.TotalWasted(),
 	}
 	p.tracer.Begin(obs.Start{ID: ps.span, Parent: p.runSpan, Kind: obs.KindPhase, Name: name})
-	ps.start = time.Now()
+	ps.start = obs.Now()
 	p.phaseSpan = ps.span
 	return ps
 }
@@ -140,13 +140,14 @@ func (ps *phaseScope) end(err error) {
 	w := p.engine.TotalWasted()
 	w.Sub(ps.wst0)
 	e := obs.End{ID: ps.span, Kind: obs.KindPhase, Name: ps.name,
-		RealSeconds:      time.Since(ps.start).Seconds(),
+		RealSeconds:      obs.Since(ps.start).Seconds(),
 		SimulatedSeconds: p.engine.TotalSimulatedSeconds() - ps.sim0,
 		Counters:         c, Wasted: w, Retries: c.TaskRetries}
 	if err != nil {
 		e.Outcome = obs.OutcomeError
 		e.Err = err.Error()
 	}
+	//lint:allow tracenil beginPhase returns a nil scope when the tracer is nil, and the ps == nil guard above returns first
 	p.tracer.End(e)
 	p.phaseSpan = 0
 }

@@ -368,10 +368,28 @@ func (m *tightenMapper) Map(ctx *mr.TaskContext, global int, row []float64) erro
 }
 
 func (m *tightenMapper) Cleanup(ctx *mr.TaskContext) error {
-	for c := range m.attrs {
-		for a, lo := range m.mins[c] {
-			ctx.Emit(fmt.Sprintf("t%d_%d", c, a), [2]float64{lo, m.maxs[c][a]})
-		}
+	for _, p := range m.tightenedPairs() {
+		ctx.Emit(p.Key, p.Value)
 	}
 	return nil
+}
+
+// tightenedPairs flattens the per-task min/max maps into emission order.
+// It iterates the cluster's sorted attribute list, not the maps: map
+// iteration order is randomized per run, and emission order feeds the
+// shuffle, so ranging the maps here would break the engine's bit-identity
+// guarantee. Attributes this task saw no point for have no map entry and
+// are skipped.
+func (m *tightenMapper) tightenedPairs() []mr.Pair {
+	var out []mr.Pair
+	for c := range m.attrs {
+		for _, a := range m.attrs[c] {
+			lo, ok := m.mins[c][a]
+			if !ok {
+				continue
+			}
+			out = append(out, mr.Pair{Key: fmt.Sprintf("t%d_%d", c, a), Value: [2]float64{lo, m.maxs[c][a]}})
+		}
+	}
+	return out
 }

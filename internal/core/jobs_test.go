@@ -189,3 +189,45 @@ func TestUncoveredCountsJobMatchesSerial(t *testing.T) {
 		}
 	}
 }
+
+// TestTightenCleanupEmissionOrder pins the fix for the map-range emission in
+// tightenMapper.Cleanup (flagged by the maporder analyzer): the emitted pair
+// sequence must follow the clusters' sorted attribute lists, never map
+// iteration order, or mapper output order — and with it the engine's
+// bit-identity guarantee — varies per run.
+func TestTightenCleanupEmissionOrder(t *testing.T) {
+	attrs := [][]int{{0, 2, 5}, {1, 3}}
+	build := func(perm []int) *tightenMapper {
+		m := &tightenMapper{
+			attrs: attrs,
+			mins:  []map[int]float64{{}, {}},
+			maxs:  []map[int]float64{{}, {}},
+		}
+		for _, a := range perm {
+			m.mins[0][a] = float64(a)
+			m.maxs[0][a] = float64(a) + 1
+		}
+		m.mins[1][1], m.maxs[1][1] = 0.5, 0.6
+		m.mins[1][3], m.maxs[1][3] = 0.1, 0.9
+		return m
+	}
+	want := []string{"t0_0", "t0_2", "t0_5", "t1_1", "t1_3"}
+	for _, perm := range [][]int{{0, 2, 5}, {5, 0, 2}, {2, 5, 0}} {
+		got := build(perm).tightenedPairs()
+		if len(got) != len(want) {
+			t.Fatalf("insertion order %v: got %d pairs, want %d", perm, len(got), len(want))
+		}
+		for i, p := range got {
+			if p.Key != want[i] {
+				t.Fatalf("insertion order %v: pair %d = %s, want %s", perm, i, p.Key, want[i])
+			}
+		}
+	}
+	// An attribute this task saw no point for is skipped, not emitted.
+	m := build([]int{0, 2, 5})
+	delete(m.mins[0], 2)
+	got := m.tightenedPairs()
+	if len(got) != len(want)-1 || got[1].Key != "t0_5" {
+		t.Fatalf("missing attribute not skipped: %v", got)
+	}
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetClock enforces the simulated-time contract: the engine charges
+// simulated seconds (mr.CostModel, FaultDecision.StragglerSeconds), never
+// the wall clock, so chaos tests stay fast and every run is reproducible.
+// The only sanctioned real-clock reads are the observability layer's
+// obs.Now/obs.Since (RealSeconds on trace spans, metrics histograms), which
+// is why internal/obs is exempt: concentrating the reads there keeps every
+// one of them auditable.
+var DetClock = &Analyzer{
+	Name: "detclock",
+	Doc:  "forbid time.Now/time.Since outside internal/obs (wall clock is observability-only; use obs.Now/obs.Since)",
+	Run:  runDetClock,
+}
+
+// clockExemptSuffix marks the one package allowed to read the clock.
+const clockExemptSuffix = "internal/obs"
+
+func runDetClock(pass *Pass) {
+	if strings.HasSuffix(pass.Path, clockExemptSuffix) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if sel.Sel.Name != "Now" && sel.Sel.Name != "Since" {
+				return true
+			}
+			if pkgNameOf(pass, sel.X) == "time" {
+				pass.Reportf(call.Pos(),
+					"time.%s outside %s: wall-clock reads are observability-only — route through obs.%s",
+					sel.Sel.Name, clockExemptSuffix, sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}
+
+// pkgNameOf returns the import path of e when e is a package qualifier
+// identifier ("time", "rand"), or "".
+func pkgNameOf(pass *Pass, e ast.Expr) string {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}

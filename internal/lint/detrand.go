@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetRand enforces the seeded-randomness contract: every random draw must
+// come from a source seeded by an explicit identity (a dataset seed, a
+// (job, phase, task, attempt) tuple as in mr.RateFaultPlan.Decide — never
+// from math/rand's process-global source, whose state is shared across
+// goroutines and whose sequence depends on call interleaving. Two shapes
+// are flagged: calls to the global top-level convenience functions
+// (rand.Intn, rand.Float64, rand.Perm, …) and package-level *rand.Rand /
+// rand.Source variables, which re-create the same shared-state hazard with
+// extra steps.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid global math/rand functions and package-level shared rand sources (seed per identity tuple instead)",
+	Run:  runDetRand,
+}
+
+// randConstructors are the math/rand functions that do NOT touch the global
+// source: they build explicitly seeded generators, which is exactly the
+// sanctioned pattern.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runDetRand(pass *Pass) {
+	for _, file := range pass.Files {
+		// Package-level shared sources.
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj := pass.Info.Defs[name]
+					if v, ok := obj.(*types.Var); ok && isRandState(v.Type()) {
+						pass.Reportf(name.Pos(),
+							"package-level %s of type %s shares one rand source across call sites — seed per identity tuple instead (see mr.FaultPlan.Decide)",
+							name.Name, v.Type())
+					}
+				}
+			}
+		}
+		// Global convenience functions.
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path := pkgNameOf(pass, sel.X)
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if randConstructors[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"rand.%s draws from math/rand's process-global source — use rand.New(rand.NewSource(seed)) with a deterministic per-identity seed",
+				sel.Sel.Name)
+			return true
+		})
+	}
+}
+
+// isRandState reports whether t is *rand.Rand or a rand.Source flavour.
+func isRandState(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return false
+	}
+	switch obj.Name() {
+	case "Rand", "Source", "Source64":
+		return true
+	}
+	return false
+}

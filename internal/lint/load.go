@@ -1,0 +1,299 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module under analysis.
+type Package struct {
+	// Path is the import path ("p3cmr/internal/mr").
+	Path string
+	// Dir is the package directory on disk.
+	Dir string
+	// Fset is the file set shared by the whole load.
+	Fset *token.FileSet
+	// Files are the parsed non-test files.
+	Files []*ast.File
+	// Types and Info are the type-check results. Type errors do not abort
+	// the load (they are collected in TypeErrors) so analyzers can still run
+	// over partially checked code.
+	Types      *types.Package
+	Info       *types.Info
+	TypeErrors []error
+}
+
+// loader parses and type-checks module packages with a module-aware
+// importer: imports inside the module resolve to the module's own source
+// directories (checked recursively by this loader), everything else is
+// delegated to the stdlib source importer. This keeps the suite free of
+// external dependencies — no go/packages — while still giving analyzers
+// full type information.
+type loader struct {
+	root   string // module root directory
+	module string // module path from go.mod
+	fset   *token.FileSet
+	std    types.ImporterFrom
+	pkgs   map[string]*Package // by import path
+	active map[string]bool     // import cycle guard
+}
+
+func newLoader(root string) (*loader, error) {
+	module, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer does not implement ImporterFrom")
+	}
+	return &loader{
+		root:   root,
+		module: module,
+		fset:   fset,
+		std:    std,
+		pkgs:   make(map[string]*Package),
+		active: make(map[string]bool),
+	}, nil
+}
+
+// modulePath reads the module path from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("lint: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s/go.mod", root)
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.root, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths are
+// loaded from source by this loader, all others through the stdlib source
+// importer.
+func (l *loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}
+
+// dirFor maps a module import path to its directory.
+func (l *loader) dirFor(path string) string {
+	if path == l.module {
+		return l.root
+	}
+	return filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, l.module+"/")))
+}
+
+// pathFor maps a directory inside the module to its import path.
+func (l *loader) pathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.root, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.module, nil
+	}
+	return l.module + "/" + filepath.ToSlash(rel), nil
+}
+
+// load parses and type-checks the package at the given module import path,
+// memoized across the whole program load.
+func (l *loader) load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.active[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.active[path] = true
+	defer func() { l.active[path] = false }()
+
+	dir := l.dirFor(path)
+	files, err := parseDir(l.fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Errors are collected, not fatal: analyzers run over what checked.
+	tpkg, _ := conf.Check(path, l.fset, files, pkg.Info)
+	pkg.Types = tpkg
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses every non-test .go file of dir (with comments, which the
+// suppression scanner needs).
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Load parses and type-checks the packages selected by patterns, rooted at
+// the module containing dir. Patterns follow go-tool conventions relative
+// to dir: "./..." (everything), "./internal/mr/..." (subtree), or a plain
+// directory. testdata directories are never matched by "..." patterns but
+// can be loaded by naming them directly (the analyzer corpus tests do).
+func Load(dir string, patterns []string) ([]*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	l, err := newLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	seen := make(map[string]bool)
+	var dirs []string
+	addDir := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			base := filepath.Join(dir, filepath.FromSlash(strings.TrimSuffix(rest, "/")))
+			if err := walkPackageDirs(base, addDir); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		d := filepath.Join(dir, filepath.FromSlash(pat))
+		if hasGoFiles(d) {
+			addDir(d)
+		} else {
+			return nil, fmt.Errorf("lint: no Go files in %s", d)
+		}
+	}
+	sort.Strings(dirs)
+
+	var pkgs []*Package
+	for _, d := range dirs {
+		path, err := l.pathFor(d)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// walkPackageDirs calls add for every directory under base that contains
+// non-test Go files, skipping hidden directories and testdata.
+func walkPackageDirs(base string, add func(string)) error {
+	return filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") && !strings.HasSuffix(d.Name(), "_test.go") {
+			add(filepath.Dir(p))
+		}
+		return nil
+	})
+}
+
+// hasGoFiles reports whether dir contains at least one non-test Go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}

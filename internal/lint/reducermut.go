@@ -1,0 +1,272 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ReducerMut enforces the read-only-values reducer contract that makes the
+// engine's reduce retry path safe: a failed reduce attempt is re-run from
+// the same immutable shuffled bucket, so a reducer (or combiner) that
+// writes through its values slice — or through an alias of a shipped
+// reference value — corrupts the input of its own retry and double-counts
+// (mr.Reducer documents the contract; internal/core's copy-based reducers
+// are the sanctioned pattern). The analyzer identifies reducer-shaped
+// functions (ReducerFunc/CombinerFunc conversions, Job{Reducer:/Combiner:}
+// literals, Reduce/Combine methods taking a []any) and flags writes through
+// the values parameter or its aliases, and escapes of those aliases into
+// emitted output or surrounding state.
+var ReducerMut = &Analyzer{
+	Name: "reducermut",
+	Doc:  "forbid reducers/combiners from writing through or leaking their shared values slice (retry safety)",
+	Run:  runReducerMut,
+}
+
+func runReducerMut(pass *Pass) {
+	for _, file := range pass.Files {
+		// Methods implementing the Reducer/Combiner interfaces.
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil {
+				continue
+			}
+			if fd.Name.Name != "Reduce" && fd.Name.Name != "Combine" {
+				continue
+			}
+			if vp := valuesParam(pass, fd.Type); vp != nil {
+				checkReducerBody(pass, fd.Body, vp)
+			}
+		}
+		// Function literals used as ReducerFunc/CombinerFunc conversions or
+		// assigned to Job{Reducer:, Combiner:} fields.
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				name := calleeName(n.Fun)
+				if name != "ReducerFunc" && name != "CombinerFunc" {
+					return true
+				}
+				for _, arg := range n.Args {
+					if fl, ok := arg.(*ast.FuncLit); ok {
+						if vp := valuesParam(pass, fl.Type); vp != nil {
+							checkReducerBody(pass, fl.Body, vp)
+						}
+					}
+				}
+			case *ast.CompositeLit:
+				if typeName(pass.TypeOf(n)) != "Job" {
+					return true
+				}
+				for _, elt := range n.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok || (key.Name != "Reducer" && key.Name != "Combiner") {
+						continue
+					}
+					if fl, ok := unwrapConversion(kv.Value).(*ast.FuncLit); ok {
+						if vp := valuesParam(pass, fl.Type); vp != nil {
+							checkReducerBody(pass, fl.Body, vp)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// valuesParam returns the declaring identifier of the trailing []any
+// parameter (the shuffled values slice), or nil when the signature does not
+// look like a reducer/combiner.
+func valuesParam(pass *Pass, ft *ast.FuncType) *ast.Ident {
+	if ft.Params == nil || len(ft.Params.List) == 0 {
+		return nil
+	}
+	last := ft.Params.List[len(ft.Params.List)-1]
+	if len(last.Names) == 0 {
+		return nil
+	}
+	t := pass.TypeOf(last.Type)
+	sl, ok := t.(*types.Slice)
+	if !ok {
+		return nil
+	}
+	if _, ok := sl.Elem().Underlying().(*types.Interface); !ok {
+		return nil
+	}
+	return last.Names[len(last.Names)-1]
+}
+
+// calleeName extracts the bare name of a called/converted identifier
+// (mr.ReducerFunc → "ReducerFunc").
+func calleeName(fun ast.Expr) string {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+// typeName returns the name of t's named type (through pointers), or "".
+func typeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// unwrapConversion strips a single wrapping conversion like
+// mr.ReducerFunc(func(...){...}) down to its operand.
+func unwrapConversion(e ast.Expr) ast.Expr {
+	if call, ok := e.(*ast.CallExpr); ok && len(call.Args) == 1 {
+		return call.Args[0]
+	}
+	return e
+}
+
+// checkReducerBody flags writes through the values parameter or its
+// reference aliases, and escapes of those aliases.
+func checkReducerBody(pass *Pass, body *ast.BlockStmt, values *ast.Ident) {
+	valuesObj := pass.Info.Defs[values]
+	if valuesObj == nil {
+		return
+	}
+	// aliases maps objects that reference the shared shuffled data: the
+	// parameter itself, range variables over it, and locals bound to its
+	// elements when the element type is a reference (slice/map/pointer).
+	aliases := map[types.Object]bool{valuesObj: true}
+	isAlias := func(e ast.Expr) bool {
+		root := rootIdent(e)
+		if root == nil {
+			return false
+		}
+		obj := pass.Info.Uses[root]
+		if obj == nil {
+			obj = pass.Info.Defs[root]
+		}
+		return obj != nil && aliases[obj]
+	}
+	// refType reports whether writing through a value of this type mutates
+	// shared state (array/struct copies do not).
+	refType := func(t types.Type) bool {
+		if t == nil {
+			return true // unknown: stay conservative
+		}
+		switch t.Underlying().(type) {
+		case *types.Slice, *types.Map, *types.Pointer:
+			return true
+		}
+		return false
+	}
+
+	// Pass 1: grow the alias set to a fixpoint (handles aliases declared
+	// before later writes regardless of nesting).
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if i >= len(n.Lhs) || !isAlias(rhs) || !refType(pass.TypeOf(rhs)) {
+						continue
+					}
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						obj := pass.Info.Defs[id]
+						if obj == nil {
+							obj = pass.Info.Uses[id]
+						}
+						if obj != nil && !aliases[obj] {
+							aliases[obj] = true
+							changed = true
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if !isAlias(n.X) {
+					return true
+				}
+				if id, ok := n.Value.(*ast.Ident); ok && id.Name != "_" {
+					obj := pass.Info.Defs[id]
+					if obj != nil && !aliases[obj] {
+						aliases[obj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// checkWrite flags a write target (assignment LHS or ++/-- operand) that
+	// stores through shared shuffled data.
+	checkWrite := func(target ast.Expr) {
+		switch l := target.(type) {
+		case *ast.IndexExpr:
+			if isAlias(l.X) {
+				pass.Reportf(target.Pos(),
+					"reducer assigns through its shared values slice (%s) — a retried attempt re-reads the same bucket, so accumulate into fresh state instead",
+					pass.ExprString(target))
+			}
+		case *ast.StarExpr:
+			if isAlias(l.X) {
+				pass.Reportf(target.Pos(),
+					"reducer writes through a pointer shipped in its values slice (%s) — shuffled values are shared across retries",
+					pass.ExprString(target))
+			}
+		case *ast.SelectorExpr:
+			if isAlias(l.X) && refType(pass.TypeOf(l.X)) {
+				pass.Reportf(target.Pos(),
+					"reducer writes a field through shared shuffled data (%s) — shuffled values are shared across retries",
+					pass.ExprString(target))
+			}
+		}
+	}
+
+	// Pass 2: flag mutations and escapes.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				checkWrite(lhs)
+				// x = append(alias, ...) may write into the shared backing
+				// array past len.
+				if i < len(n.Rhs) {
+					if call, ok := n.Rhs[i].(*ast.CallExpr); ok && isBuiltinAppend(pass, call) && len(call.Args) > 0 && isAlias(call.Args[0]) {
+						pass.Reportf(n.Rhs[i].Pos(),
+							"append to an alias of the shared values slice (%s) can write into its backing array — copy into fresh state instead",
+							pass.ExprString(call.Args[0]))
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			checkWrite(n.X)
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Emit" {
+				return true
+			}
+			for _, arg := range n.Args {
+				if root := rootIdent(arg); root != nil {
+					obj := pass.Info.Uses[root]
+					if obj != nil && aliases[obj] && refType(pass.TypeOf(arg)) {
+						pass.Reportf(arg.Pos(),
+							"reducer emits an alias of its shared values slice (%s) — the output would share backing state with the shuffle buffer; emit a copy",
+							pass.ExprString(arg))
+					}
+				}
+			}
+		}
+		return true
+	})
+}

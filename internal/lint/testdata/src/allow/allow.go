@@ -1,0 +1,30 @@
+// Package allow is the corpus for the suppression machinery: same-line and
+// line-above //lint:allow comments must suppress their finding, an
+// unrelated finding must survive, and an allow with nothing to suppress
+// must be reported stale.
+package allow
+
+import "time"
+
+func suppressedSameLine() time.Time {
+	return time.Now() //lint:allow detclock corpus exercises same-line suppression
+}
+
+func suppressedLineAbove() time.Time {
+	//lint:allow detclock corpus exercises line-above suppression
+	return time.Now()
+}
+
+func wrongAnalyzerAllow() time.Time {
+	//lint:allow maporder wrong-analyzer allow must not suppress, and is itself stale // want "unused //lint:allow maporder"
+	return time.Now() // want "time.Now outside internal/obs"
+}
+
+func misspelledAllow() time.Time {
+	//lint:allow detclok a typo'd analyzer name suppresses nothing and is always reported // want "unused //lint:allow detclok"
+	return time.Now() // want "time.Now outside internal/obs"
+}
+
+func unsuppressed() time.Time {
+	return time.Now() // want "time.Now outside internal/obs"
+}

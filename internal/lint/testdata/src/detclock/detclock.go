@@ -1,0 +1,21 @@
+// Package detclock is the seeded corpus for the detclock analyzer: every
+// wall-clock read outside internal/obs must be flagged; clock-free uses of
+// package time must not.
+package detclock
+
+import "time"
+
+func bad() time.Duration {
+	start := time.Now() // want "time.Now outside internal/obs"
+	work()
+	return time.Since(start) // want "time.Since outside internal/obs"
+}
+
+func good() time.Duration {
+	// Building durations and times without reading the clock is fine.
+	d := 3 * time.Second
+	_ = time.Unix(0, 0)
+	return d
+}
+
+func work() {}

@@ -1,0 +1,30 @@
+// Package detrand is the seeded corpus for the detrand analyzer: global
+// math/rand draws and package-level shared sources must be flagged; the
+// seed-per-identity pattern must not.
+package detrand
+
+import "math/rand"
+
+var shared = rand.New(rand.NewSource(1)) // want "package-level shared .* shares one rand source"
+
+var src rand.Source = rand.NewSource(7) // want "package-level src .* shares one rand source"
+
+func badGlobalDraw() int {
+	return rand.Intn(10) // want "rand.Intn draws from math/rand's process-global source"
+}
+
+func badGlobalFloat() float64 {
+	return rand.Float64() // want "rand.Float64 draws from math/rand's process-global source"
+}
+
+func goodSeeded(seed int64) int {
+	// The sanctioned pattern: an explicitly seeded generator per identity.
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func goodLocalState(seed int64) *rand.Rand {
+	// Local (non-package-level) generators are fine: they do not share
+	// state across call sites.
+	return rand.New(rand.NewSource(seed))
+}

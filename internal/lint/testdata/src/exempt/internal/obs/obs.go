@@ -1,0 +1,10 @@
+// Package obs stands in for the module's observability package in the
+// detclock corpus: its import path ends in internal/obs, so its clock reads
+// are sanctioned and must produce no findings.
+package obs
+
+import "time"
+
+func Now() time.Time { return time.Now() }
+
+func Since(t time.Time) time.Duration { return time.Since(t) }

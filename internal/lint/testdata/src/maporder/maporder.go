@@ -1,0 +1,88 @@
+// Package maporder is the seeded corpus for the maporder analyzer: a range
+// over a map that emits records, writes output, or accumulates into a
+// result slice without a later sort must be flagged; order-insensitive
+// aggregation and sorted accumulation must not.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+type taskContext struct{}
+
+func (taskContext) Emit(key string, value any) {}
+
+func emitsFromMap(ctx taskContext, m map[string]int) {
+	for k, v := range m { // want "range over map m emits records in map iteration order"
+		ctx.Emit(k, v)
+	}
+}
+
+func emitsFromNestedMap(ctx taskContext, mins []map[int]float64, c int) {
+	for a, lo := range mins[c] { // want "range over map .* emits records in map iteration order"
+		ctx.Emit(fmt.Sprintf("t%d_%d", c, a), lo)
+	}
+}
+
+func printsFromMap(m map[string]int) {
+	for k := range m { // want "range over map m writes output in map iteration order"
+		fmt.Println(k)
+	}
+}
+
+func buildsStringFromMap(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m { // want "range over map m writes output in map iteration order"
+		sb.WriteString(k)
+	}
+	return sb.String()
+}
+
+func appendsWithoutSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "appends to keys in map iteration order with no later sort"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func appendsThenSorts(m map[string]int) []string {
+	// The repo's canonical rescue: accumulate, then sort before use.
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func appendsToIndexedSliceThenSorts(sets []map[int]struct{}, c int) [][]int {
+	// Indexed accumulation target rooted at the same object still counts
+	// as sorted (the attrs[c] pattern from attribute inspection).
+	attrs := make([][]int, len(sets))
+	for a := range sets[c] {
+		attrs[c] = append(attrs[c], a)
+	}
+	sort.Ints(attrs[c])
+	return attrs
+}
+
+func aggregates(m map[string]int) int {
+	// Order-insensitive reduction over a map is fine.
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func writesAnotherMap(m map[string]int) map[string]int {
+	// Map-to-map transforms stay order-insensitive.
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+// Package reducermut is the seeded corpus for the reducermut analyzer. It
+// defines local stand-ins for the mr package's reducer shapes (the analyzer
+// is name/shape-based, so the corpus needs no engine import) and seeds each
+// forbidden write: direct assignment through the values slice, writes
+// through aliased element references, pointer-field mutation, append into
+// the shared backing array, and emitting an alias of shuffled data.
+package reducermut
+
+type TaskContext struct{}
+
+func (*TaskContext) Emit(key string, value any) {}
+
+type ReducerFunc func(ctx *TaskContext, key string, values []any) error
+
+type Job struct {
+	Reducer  ReducerFunc
+	Combiner ReducerFunc
+}
+
+type clobberReducer struct{}
+
+func (clobberReducer) Reduce(ctx *TaskContext, key string, values []any) error {
+	values[0] = nil // want "reducer assigns through its shared values slice"
+	return nil
+}
+
+type scaleReducer struct{}
+
+func (scaleReducer) Reduce(ctx *TaskContext, key string, values []any) error {
+	for _, v := range values {
+		vec := v.([]float64)
+		vec[0] *= 2 // want "reducer assigns through its shared values slice"
+	}
+	return nil
+}
+
+type acc struct{ n int }
+
+type bumpCombiner struct{}
+
+func (bumpCombiner) Combine(ctx *TaskContext, key string, values []any) error {
+	for _, v := range values {
+		p := v.(*acc)
+		p.n++ // want "reducer writes a field through shared shuffled data"
+	}
+	return nil
+}
+
+type leakReducer struct{}
+
+func (leakReducer) Reduce(ctx *TaskContext, key string, values []any) error {
+	vec := values[0].([]float64)
+	ctx.Emit(key, vec) // want "reducer emits an alias of its shared values slice"
+	return nil
+}
+
+var _ = ReducerFunc(func(ctx *TaskContext, key string, values []any) error {
+	values = append(values, 1) // want "append to an alias of the shared values slice"
+	_ = values
+	return nil
+})
+
+func badJobLiteral() Job {
+	return Job{
+		Reducer: func(ctx *TaskContext, key string, values []any) error {
+			values[0] = 1 // want "reducer assigns through its shared values slice"
+			return nil
+		},
+	}
+}
+
+type minmaxReducer struct{}
+
+func (minmaxReducer) Reduce(ctx *TaskContext, key string, values []any) error {
+	// The sanctioned pattern: value-type asserts copy, accumulation is
+	// fresh state, and the emitted aggregate shares nothing.
+	agg := values[0].([2]float64)
+	for _, v := range values[1:] {
+		mm := v.([2]float64)
+		if mm[0] < agg[0] {
+			agg[0] = mm[0]
+		}
+		if mm[1] > agg[1] {
+			agg[1] = mm[1]
+		}
+	}
+	ctx.Emit(key, agg)
+	return nil
+}
+
+var _ = ReducerFunc(func(ctx *TaskContext, key string, values []any) error {
+	// Reading through an alias without writing is fine, as is emitting a
+	// freshly built copy.
+	out := make([]float64, 0, len(values))
+	for _, v := range values {
+		out = append(out, v.(float64))
+	}
+	ctx.Emit(key, out)
+	return nil
+})
+
+func notAReducer(values []any) {
+	// Same signature shape but neither a Reduce/Combine method nor a
+	// ReducerFunc/Job literal: out of the contract's scope.
+	values[0] = nil
+}

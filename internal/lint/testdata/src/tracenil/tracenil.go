@@ -1,0 +1,87 @@
+// Package tracenil is the seeded corpus for the tracenil analyzer: calls
+// through Tracer-typed handles or .Tracer/.Metrics config fields must be
+// dominated by a nil check in any of the repo's guard shapes (enclosing
+// if, hoisted local, early return, conjunct, else branch).
+package tracenil
+
+type Point struct{ Name string }
+
+type Tracer interface {
+	Point(Point)
+}
+
+type Registry struct{}
+
+func (*Registry) Inc(name string) {}
+
+type Config struct {
+	Tracer  Tracer
+	Metrics *Registry
+}
+
+type Engine struct{ cfg Config }
+
+func (e *Engine) badUnguarded() {
+	e.cfg.Tracer.Point(Point{}) // want "call e.cfg.Tracer.Point on a nilable tracing handle"
+}
+
+func (e *Engine) badMetrics() {
+	e.cfg.Metrics.Inc("tasks") // want "call e.cfg.Metrics.Inc on a nilable tracing handle"
+}
+
+func (e *Engine) badWrongGuard(other *Engine) {
+	if other.cfg.Tracer != nil { // guards a different handle
+		e.cfg.Tracer.Point(Point{}) // want "call e.cfg.Tracer.Point on a nilable tracing handle"
+	}
+}
+
+func (e *Engine) badGuardedLiteralRunsLater() func() {
+	if e.cfg.Tracer != nil {
+		return func() {
+			// The guard outside the closure does not dominate the call
+			// inside it: the handle may have changed by invocation time.
+			e.cfg.Tracer.Point(Point{}) // want "call e.cfg.Tracer.Point on a nilable tracing handle"
+		}
+	}
+	return func() {}
+}
+
+func (e *Engine) goodEnclosingIf(p Point) {
+	if e.cfg.Tracer != nil {
+		e.cfg.Tracer.Point(p)
+	}
+}
+
+func (e *Engine) goodHoistedLocal(p Point) {
+	tr := e.cfg.Tracer
+	if tr != nil {
+		tr.Point(p)
+	}
+}
+
+func (e *Engine) goodEarlyReturn(p Point) {
+	if e.cfg.Tracer == nil {
+		return
+	}
+	e.cfg.Tracer.Point(p)
+}
+
+func (e *Engine) goodConjunct(p Point, enabled bool) {
+	if enabled && e.cfg.Tracer != nil {
+		e.cfg.Tracer.Point(p)
+	}
+}
+
+func (e *Engine) goodElseBranch(p Point) {
+	if e.cfg.Tracer == nil {
+		_ = p
+	} else {
+		e.cfg.Tracer.Point(p)
+	}
+}
+
+func (e *Engine) goodMetricsGuard() {
+	if e.cfg.Metrics != nil {
+		e.cfg.Metrics.Inc("tasks")
+	}
+}

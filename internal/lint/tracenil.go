@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// TraceNil enforces the zero-cost-when-off tracing contract: Config.Tracer
+// and Config.Metrics are nil in production-shaped runs, and the engine's
+// hot paths (map/reduce inner loops) promise to skip every tracing clock
+// read and allocation in that case — a promise pinned by benchmarks. A
+// method call on a Tracer-typed handle or through a .Tracer/.Metrics field
+// that is not dominated by a nil check is therefore both a panic waiting
+// for the default configuration and a hole in the zero-cost guarantee.
+// internal/obs itself is exempt: its fan-out helpers (multiTracer) hold
+// handles that are non-nil by construction.
+var TraceNil = &Analyzer{
+	Name: "tracenil",
+	Doc:  "require nil checks before calls on Config.Tracer/Config.Metrics handles outside internal/obs",
+	Run:  runTraceNil,
+}
+
+func runTraceNil(pass *Pass) {
+	if strings.HasSuffix(pass.Path, clockExemptSuffix) {
+		return
+	}
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv := sel.X
+			if !isTraceHandle(pass, recv) {
+				return true
+			}
+			if nilGuarded(pass, stack, recv) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"call %s.%s on a nilable tracing handle without a dominating nil check — Tracer/Metrics are nil by default and hot paths must skip them",
+				pass.ExprString(recv), sel.Sel.Name)
+			return true
+		})
+	}
+}
+
+// isTraceHandle reports whether e is a handle governed by the nil-guard
+// contract: an expression of the named interface type Tracer, or a field
+// access ending in .Tracer / .Metrics (the Config handles). Detection is
+// name-based so the testdata corpus can define local mocks.
+func isTraceHandle(pass *Pass, e ast.Expr) bool {
+	if typeName(pass.TypeOf(e)) == "Tracer" {
+		return true
+	}
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		if sel.Sel.Name == "Tracer" || sel.Sel.Name == "Metrics" {
+			return true
+		}
+	}
+	return false
+}
+
+// nilGuarded reports whether the call at the top of stack is dominated by a
+// nil check of recv: an ancestor `if recv != nil { ... }` (call in the then
+// branch), an ancestor `if recv == nil { ... } else { ... }` (call in the
+// else branch), or an earlier sibling `if recv == nil { return/panic }` in
+// an enclosing block. Expressions are matched by printed text, the same
+// identity the repo's guards use (e.cfg.Tracer, tr, p.tracer).
+func nilGuarded(pass *Pass, stack []ast.Node, recv ast.Expr) bool {
+	want := pass.ExprString(recv)
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch anc := stack[i].(type) {
+		case *ast.IfStmt:
+			child := stack[i+1]
+			if child == anc.Body && condImpliesNonNil(pass, anc.Cond, want) {
+				return true
+			}
+			if child == anc.Else && condImpliesNil(pass, anc.Cond, want) {
+				return true
+			}
+		case *ast.BlockStmt:
+			child := stack[i+1]
+			for _, stmt := range anc.List {
+				if stmt == child {
+					break
+				}
+				ifs, ok := stmt.(*ast.IfStmt)
+				if !ok || !condImpliesNil(pass, ifs.Cond, want) {
+					continue
+				}
+				if terminates(ifs.Body) {
+					return true
+				}
+			}
+		case *ast.FuncLit, *ast.FuncDecl:
+			// A guard outside the enclosing function does not dominate calls
+			// inside it (the literal may run later, when the handle changed).
+			return false
+		}
+	}
+	return false
+}
+
+// condImpliesNonNil reports whether cond being true implies want != nil:
+// the conjunct `want != nil` appears in it.
+func condImpliesNonNil(pass *Pass, cond ast.Expr, want string) bool {
+	return hasNilCheck(pass, cond, want, "!=")
+}
+
+// condImpliesNil reports whether cond being true implies want == nil.
+func condImpliesNil(pass *Pass, cond ast.Expr, want string) bool {
+	return hasNilCheck(pass, cond, want, "==")
+}
+
+func hasNilCheck(pass *Pass, cond ast.Expr, want string, op string) bool {
+	switch c := cond.(type) {
+	case *ast.ParenExpr:
+		return hasNilCheck(pass, c.X, want, op)
+	case *ast.BinaryExpr:
+		if c.Op.String() == "&&" {
+			// Either conjunct holding is enough for the implication.
+			return hasNilCheck(pass, c.X, want, op) || hasNilCheck(pass, c.Y, want, op)
+		}
+		if c.Op.String() != op {
+			return false
+		}
+		x, y := c.X, c.Y
+		if isNilIdent(y) {
+			return pass.ExprString(x) == want
+		}
+		if isNilIdent(x) {
+			return pass.ExprString(y) == want
+		}
+	}
+	return false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// terminates reports whether a block always leaves the enclosing function or
+// loop iteration (so code after it runs only when the guard condition was
+// false).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -242,13 +242,13 @@ func (e *Engine) Run(job *Job) (*Output, error) {
 		tr.Begin(obs.Start{ID: jobSpan, Parent: job.TraceParent, Kind: obs.KindJob, Name: job.Name})
 	}
 	if tr != nil || e.met != nil {
-		jobStart = time.Now()
+		jobStart = obs.Now()
 	}
 	endJobErr := func(err error) {
 		if tr != nil {
 			tr.End(obs.End{ID: jobSpan, Kind: obs.KindJob, Name: job.Name,
 				Outcome: obs.OutcomeError, Err: err.Error(),
-				RealSeconds: time.Since(jobStart).Seconds()})
+				RealSeconds: obs.Since(jobStart).Seconds()})
 		}
 	}
 
@@ -321,7 +321,7 @@ mapLaunch:
 		shufSpan = obs.NewSpanID()
 		tr.Begin(obs.Start{ID: shufSpan, Parent: jobSpan, Kind: obs.KindTask,
 			Name: job.Name, Task: -1, Phase: "shuffle"})
-		shufStart = time.Now()
+		shufStart = obs.Now()
 	}
 
 	// Merge the per-task buffers into one contiguous run per reducer, in
@@ -346,7 +346,7 @@ mapLaunch:
 	if tr != nil && !mapOnly {
 		tr.End(obs.End{ID: shufSpan, Kind: obs.KindTask, Name: job.Name,
 			Task: -1, Phase: "shuffle", Outcome: obs.OutcomeOK,
-			RealSeconds: time.Since(shufStart).Seconds(),
+			RealSeconds: obs.Since(shufStart).Seconds(),
 			Counters:    Counters{ShuffledBytes: counters.ShuffledBytes}})
 	}
 
@@ -431,7 +431,7 @@ mapLaunch:
 	if tr != nil {
 		tr.End(obs.End{ID: jobSpan, Kind: obs.KindJob, Name: job.Name,
 			Outcome:          obs.OutcomeOK,
-			RealSeconds:      time.Since(jobStart).Seconds(),
+			RealSeconds:      obs.Since(jobStart).Seconds(),
 			SimulatedSeconds: out.SimulatedSeconds,
 			Counters:         counters, Wasted: fault.Wasted,
 			Retries: counters.TaskRetries})
@@ -445,7 +445,7 @@ mapLaunch:
 		m.retries.Add(counters.TaskRetries)
 		m.wasted.Add(fault.Wasted.MapInputRecords + fault.Wasted.ReduceInputVals)
 		m.simSeconds.Add(out.SimulatedSeconds)
-		m.jobReal.Observe(time.Since(jobStart).Seconds())
+		m.jobReal.Observe(obs.Since(jobStart).Seconds())
 	}
 	return out, nil
 }
@@ -466,6 +466,7 @@ func (e *Engine) JobStatsByName() map[string]JobStats {
 // e.cfg.Tracer != nil so the untraced path pays nothing (not even the
 // TaskPhase→string conversion).
 func (e *Engine) point(span obs.SpanID, kind obs.PointKind, name string, task, attempt int, phase TaskPhase, seconds float64) {
+	//lint:allow tracenil every caller gates on e.cfg.Tracer != nil before paying for this call's arguments
 	e.cfg.Tracer.Point(obs.Point{Span: span, Kind: kind, Name: name,
 		Task: task, Attempt: attempt, Phase: phase.String(), Seconds: seconds})
 }
@@ -503,7 +504,7 @@ func runTaskAttempts[T any](e *Engine, job *Job, phase TaskPhase, taskID int, pa
 			span = obs.NewSpanID()
 			tr.Begin(obs.Start{ID: span, Parent: parent, Kind: obs.KindTask,
 				Name: job.Name, Task: taskID, Attempt: attempt, Phase: phase.String()})
-			began = time.Now()
+			began = obs.Now()
 		}
 		out, c, straggler, err := try(attempt, span)
 		fc.Straggler += straggler
@@ -513,7 +514,7 @@ func runTaskAttempts[T any](e *Engine, job *Job, phase TaskPhase, taskID int, pa
 				tr.End(obs.End{ID: span, Kind: obs.KindTask, Name: job.Name,
 					Task: taskID, Attempt: attempt, Phase: phase.String(),
 					Outcome:     obs.OutcomeOK,
-					RealSeconds: time.Since(began).Seconds(), SimulatedSeconds: straggler,
+					RealSeconds: obs.Since(began).Seconds(), SimulatedSeconds: straggler,
 					Counters: c, Retries: retries})
 			}
 			return out, c, fc, nil
@@ -528,7 +529,7 @@ func runTaskAttempts[T any](e *Engine, job *Job, phase TaskPhase, taskID int, pa
 				tr.End(obs.End{ID: span, Kind: obs.KindTask, Name: job.Name,
 					Task: taskID, Attempt: attempt, Phase: phase.String(),
 					Outcome: outcome, Err: err.Error(),
-					RealSeconds: time.Since(began).Seconds(), SimulatedSeconds: straggler})
+					RealSeconds: obs.Since(began).Seconds(), SimulatedSeconds: straggler})
 			}
 			return zero, Counters{}, fc, err
 		}
@@ -538,7 +539,7 @@ func runTaskAttempts[T any](e *Engine, job *Job, phase TaskPhase, taskID int, pa
 			tr.End(obs.End{ID: span, Kind: obs.KindTask, Name: job.Name,
 				Task: taskID, Attempt: attempt, Phase: phase.String(),
 				Outcome: obs.OutcomeFault, Err: err.Error(),
-				RealSeconds: time.Since(began).Seconds(), SimulatedSeconds: straggler,
+				RealSeconds: obs.Since(began).Seconds(), SimulatedSeconds: straggler,
 				Wasted: c})
 			if attempt+1 < e.cfg.MaxAttempts {
 				e.point(parent, obs.PointRetry, job.Name, taskID, attempt, phase, 0)

@@ -1,0 +1,18 @@
+package obs
+
+import "time"
+
+// Now and Since are the module's only sanctioned wall-clock reads. Engine
+// semantics run on simulated time (mr.CostModel); the real clock exists
+// solely to annotate observability output — RealSeconds on trace spans,
+// wall-time stats, metrics histograms — where nondeterminism is expected
+// and harmless. Concentrating the reads behind these two functions keeps
+// them auditable and lets the detclock analyzer forbid time.Now/time.Since
+// everywhere else: a new call site outside internal/obs is either a
+// determinism bug or a new observability need that belongs here.
+
+// Now returns the current wall-clock time for observability annotations.
+func Now() time.Time { return time.Now() }
+
+// Since returns the wall-clock duration elapsed since t.
+func Since(t time.Time) time.Duration { return time.Since(t) }
