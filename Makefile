@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet lint lint-fix-check build test race bench chaos trace trace-demo
+.PHONY: ci vet lint lint-fix-check build test race bench bench-diff chaos trace ops trace-demo ops-demo trace-analyze
 
-ci: vet lint build test race chaos trace bench
+ci: vet lint build test race chaos trace ops bench
 
 vet:
 	$(GO) vet ./...
@@ -46,11 +46,22 @@ chaos:
 trace:
 	$(GO) test -race -run 'Trace|Obs|Observer|Metrics|Report|JSONL' ./...
 
+# Ops-plane and trace-analysis suite under the race detector: progress
+# aggregation, Prometheus exposition (golden + validator), flight-recorder
+# retention, the live ops-server-during-chaos test, and the p3ctrace oracle.
+ops:
+	$(GO) test -race -run 'Ops|Flight|Progress|Prometheus|Analyze' ./...
+
 # Benchmarks with a machine-readable summary: benchjson tees the raw
-# output through and writes BENCH_PR4.json for cross-PR baseline diffs.
+# output through and writes BENCH_PR5.json for cross-PR baseline diffs.
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x -benchmem ./internal/mr/ \
-		| $(GO) run ./cmd/benchjson -o BENCH_PR4.json
+		| $(GO) run ./cmd/benchjson -o BENCH_PR5.json
+
+# Compare this PR's benchmark baseline against the previous PR's; exits
+# nonzero on a regression beyond the thresholds (see cmd/benchjson -diff).
+bench-diff:
+	$(GO) run ./cmd/benchjson -diff BENCH_PR4.json BENCH_PR5.json
 
 # End-to-end trace demo: generate a small data set, cluster it with
 # tracing, the per-job report, and the cost model enabled, then show the
@@ -60,3 +71,23 @@ trace-demo:
 	$(GO) run ./cmd/p3crun -in /tmp/p3c-trace-demo.bin -algo mr-light -simulate \
 		-trace /tmp/p3c-trace-demo.jsonl -report -metrics
 	head -n 5 /tmp/p3c-trace-demo.jsonl
+
+# Live ops-plane demo: cluster with the ops server up and lingering, then
+# curl the endpoints while the server is still alive.
+ops-demo:
+	$(GO) run ./cmd/p3cgen -out /tmp/p3c-ops-demo.bin -n 20000 -dim 20 -clusters 4
+	$(GO) run ./cmd/p3crun -in /tmp/p3c-ops-demo.bin -algo mr-light -simulate \
+		-ops 127.0.0.1:19095 -ops-linger 5s & \
+	sleep 2; \
+	curl -sf http://127.0.0.1:19095/healthz; \
+	curl -sf http://127.0.0.1:19095/runs; \
+	curl -sf http://127.0.0.1:19095/metrics | head -n 20; \
+	wait
+
+# Offline trace analysis demo: trace a run, then reconstruct the critical
+# path, skew, and straggler/retry attribution from the JSONL.
+trace-analyze:
+	$(GO) run ./cmd/p3cgen -out /tmp/p3c-analyze-demo.bin -n 5000 -dim 15 -clusters 3
+	$(GO) run ./cmd/p3crun -in /tmp/p3c-analyze-demo.bin -algo mr-light -simulate \
+		-trace /tmp/p3c-analyze-demo.jsonl
+	$(GO) run ./cmd/p3ctrace -top 5 /tmp/p3c-analyze-demo.jsonl

@@ -9,6 +9,11 @@
 // The JSON maps the benchmark name (with the -N GOMAXPROCS suffix
 // stripped) to {iterations, ns_per_op, bytes_per_op, allocs_per_op}.
 // Metrics absent from a line (e.g. without -benchmem) are reported as -1.
+//
+// With -diff, benchjson instead compares two baselines and exits nonzero on
+// regression beyond the thresholds:
+//
+//	benchjson -diff BENCH_PR4.json BENCH_PR5.json -threshold 0.20 -alloc-threshold 0.02
 package main
 
 import (
@@ -38,7 +43,17 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\
 func main() {
 	out := flag.String("out", "", "write the JSON summary to this file (required)")
 	flag.StringVar(out, "o", "", "shorthand for -out")
+	diff := flag.Bool("diff", false, "compare two baseline files: benchjson -diff old.json new.json")
+	nsThreshold := flag.Float64("threshold", 0.20, "with -diff: fatal fractional ns/op regression")
+	allocThreshold := flag.Float64("alloc-threshold", 0.02, "with -diff: fatal fractional allocs/op regression")
 	flag.Parse()
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runDiff(flag.Arg(0), flag.Arg(1), *nsThreshold, *allocThreshold))
+	}
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -out (or -o) is required")
 		os.Exit(1)

@@ -13,10 +13,12 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"p3cmr"
 	"p3cmr/internal/core"
@@ -43,6 +45,10 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a JSONL span trace of the run to this file")
 		report    = flag.Bool("report", false, "print a per-phase/per-job observability report after the run")
 		metrics   = flag.Bool("metrics", false, "print an engine metrics snapshot after the run")
+		opsAddr   = flag.String("ops", "", "serve the live ops plane (/metrics, /runs, /healthz, /debug/pprof/) on this address, e.g. :9090")
+		opsLinger = flag.Duration("ops-linger", 0, "keep the ops server up this long after the run finishes")
+		flightN   = flag.Int("flight", 0, "record the last N trace events in a flight recorder (0 = off)")
+		flightOut = flag.String("flight-out", "", "flight-recorder post-mortem path (implies -flight; also dumped on success at exit)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -66,8 +72,15 @@ func main() {
 		jsonl     *obs.JSONLTracer
 		collector *obs.ReportCollector
 		registry  *obs.Registry
+		progress  *obs.Progress
+		flight    *obs.FlightRecorder
+		ops       *obs.OpsServer
 	)
-	if *jobStats || *simulate || *traceOut != "" || *report || *metrics {
+	if *flightOut != "" && *flightN == 0 {
+		*flightN = obs.DefaultFlightLimit
+	}
+	if *jobStats || *simulate || *traceOut != "" || *report || *metrics ||
+		*opsAddr != "" || *flightN > 0 {
 		ec := mr.Config{}
 		if *simulate {
 			ec.Cost = mr.DefaultCostModel()
@@ -86,12 +99,35 @@ func main() {
 			collector = obs.NewReportCollector()
 			tracers = append(tracers, collector)
 		}
+		if *opsAddr != "" {
+			progress = obs.NewProgress()
+			progress.SetPhasePlan("p3c-pipeline", paramsFor(alg).PhasePlan())
+			tracers = append(tracers, progress)
+		}
+		if *flightN > 0 {
+			flight = obs.NewFlightRecorder(*flightN)
+			if *flightOut != "" {
+				flight.SetDump(func(obs.End) (io.WriteCloser, error) {
+					return os.Create(*flightOut)
+				})
+			}
+			tracers = append(tracers, flight)
+		}
 		ec.Tracer = obs.Multi(tracers...)
-		if *metrics {
+		if *metrics || *opsAddr != "" {
 			registry = obs.NewRegistry()
 			ec.Metrics = registry
 		}
 		engine = mr.NewEngine(ec)
+	}
+	if *opsAddr != "" {
+		var err error
+		ops, err = obs.StartOps(*opsAddr, registry, progress)
+		if err != nil {
+			fatal(err)
+		}
+		defer ops.Close()
+		fmt.Fprintf(os.Stderr, "ops server listening on http://%s\n", ops.Addr())
 	}
 	cfg := p3cmr.Config{Algorithm: alg, SimulateCluster: *simulate, Engine: engine}
 	if *theta > 0 || *alphaPoi > 0 || *alphaChi > 0 || *splits > 0 {
@@ -128,9 +164,28 @@ func main() {
 		if collector != nil {
 			collector.WriteReport(os.Stderr)
 		}
-		if registry != nil {
+		if registry != nil && *metrics {
 			snap := registry.Snapshot()
 			snap.WriteText(os.Stderr)
+		}
+		if flight != nil && *flightOut != "" && flight.Dumps() == 0 {
+			// The run succeeded, so no post-mortem fired; dump the window
+			// anyway for offline analysis.
+			f, err := os.Create(*flightOut)
+			if err == nil {
+				err = flight.Dump(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fatal(fmt.Errorf("writing flight dump: %w", err))
+			}
+			fmt.Fprintf(os.Stderr, "flight dump written to %s\n", *flightOut)
+		}
+		if ops != nil && *opsLinger > 0 {
+			fmt.Fprintf(os.Stderr, "ops server lingering for %s\n", *opsLinger)
+			time.Sleep(*opsLinger)
 		}
 	}
 

@@ -1,0 +1,495 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"p3cmr/internal/obs"
+)
+
+// traceEvent mirrors the JSONL wire format of obs.JSONLTracer (and the
+// flight recorder's post-mortem dumps): one JSON object per event.
+type traceEvent struct {
+	Ev      string        `json:"ev"`
+	TS      float64       `json:"ts"`
+	ID      int64         `json:"id"`
+	Parent  int64         `json:"parent"`
+	Span    int64         `json:"span"`
+	Kind    string        `json:"kind"`
+	Name    string        `json:"name"`
+	Task    *int          `json:"task"`
+	Attempt int           `json:"attempt"`
+	Phase   string        `json:"phase"`
+	Point   string        `json:"point"`
+	Outcome string        `json:"outcome"`
+	Err     string        `json:"err"`
+	RealS   float64       `json:"real_s"`
+	SimS    float64       `json:"sim_s"`
+	Seconds float64       `json:"seconds"`
+	Retries int64         `json:"retries"`
+	Ctrs    *obs.Counters `json:"counters"`
+	Wasted  *obs.Counters `json:"wasted"`
+}
+
+// span is one reconstructed trace span.
+type span struct {
+	id       int64
+	parent   int64
+	kind     string
+	name     string
+	task     int
+	attempt  int
+	phase    string
+	beginTS  float64
+	endTS    float64
+	closed   bool
+	outcome  string
+	errText  string
+	realS    float64
+	simS     float64
+	retries  int64
+	counters obs.Counters
+	wasted   obs.Counters
+	children []*span
+	points   []*traceEvent
+}
+
+func (s *span) taskStr() string {
+	if s.kind != "task" {
+		return ""
+	}
+	if s.task == -1 {
+		return "shuffle"
+	}
+	return fmt.Sprintf("%d.%d", s.task, s.attempt)
+}
+
+// ---- analysis output ------------------------------------------------------
+
+// Analysis is the full result of analyzing one trace file — the -json
+// payload.
+type Analysis struct {
+	Events int           `json:"events"`
+	Spans  int           `json:"spans"`
+	Runs   []RunAnalysis `json:"runs"`
+}
+
+// RunAnalysis reconstructs one root span (a pipeline run, or a detached job
+// when the engine was traced without the pipeline layer).
+type RunAnalysis struct {
+	Name             string         `json:"name"`
+	Kind             string         `json:"kind"`
+	Outcome          string         `json:"outcome"`
+	Err              string         `json:"err,omitempty"`
+	WallSeconds      float64        `json:"wall_s"`
+	SimulatedSeconds float64        `json:"sim_s"`
+	Counters         obs.Counters   `json:"counters"`
+	Wasted           obs.Counters   `json:"wasted"`
+	Retries          int64          `json:"retries"`
+	TaskAttempts     int            `json:"task_attempts"`
+	Faults           int            `json:"faults"`
+	Cancels          int            `json:"cancels"`
+	Phases           []PhaseRow     `json:"phases,omitempty"`
+	CriticalPath     []CPStep       `json:"critical_path"`
+	Skew             []SkewRow      `json:"skew,omitempty"`
+	Stragglers       []StragglerRow `json:"stragglers,omitempty"`
+	RetryWaste       []WasteRow     `json:"retry_waste,omitempty"`
+	Slowest          []AttemptRow   `json:"slowest,omitempty"`
+}
+
+// CPStep is one hop of the critical path: the chain of last-finishing
+// children from the root down to a leaf. SelfSeconds is the portion of the
+// step's duration not covered by its successor on the path — time
+// attributable to the step itself (scheduling, merging, barriers).
+type CPStep struct {
+	Kind        string  `json:"kind"`
+	Name        string  `json:"name"`
+	Phase       string  `json:"phase,omitempty"`
+	Task        string  `json:"task,omitempty"`
+	StartS      float64 `json:"start_s"`
+	EndS        float64 `json:"end_s"`
+	DurationS   float64 `json:"duration_s"`
+	SelfSeconds float64 `json:"self_s"`
+}
+
+// PhaseRow is the per-pipeline-phase cost breakdown.
+type PhaseRow struct {
+	Name             string  `json:"name"`
+	WallSeconds      float64 `json:"wall_s"`
+	SimulatedSeconds float64 `json:"sim_s"`
+	MapIn            int64   `json:"map_in"`
+	ShuffledBytes    int64   `json:"shuffled_b"`
+	Retries          int64   `json:"retries"`
+	Jobs             int     `json:"jobs"`
+	Tasks            int     `json:"tasks"`
+}
+
+// SkewRow quantifies task-duration skew within one job name + task phase:
+// the max/median ratio is the straggler factor that bounds speedup (the
+// reducer-key skew question of the paper's §7 evaluation).
+type SkewRow struct {
+	Job       string  `json:"job"`
+	Phase     string  `json:"phase"`
+	Tasks     int     `json:"tasks"`
+	MedianS   float64 `json:"median_s"`
+	P90S      float64 `json:"p90_s"`
+	MaxS      float64 `json:"max_s"`
+	Skew      float64 `json:"skew"` // max / median; 0 when median is 0
+	SlowestID string  `json:"slowest_task"`
+}
+
+// StragglerRow attributes simulated straggler charge to one job + phase.
+type StragglerRow struct {
+	Job     string  `json:"job"`
+	Phase   string  `json:"phase"`
+	Count   int     `json:"count"`
+	Seconds float64 `json:"seconds"`
+}
+
+// WasteRow attributes retry waste to one job name: how many attempts
+// faulted, the wall time they burned, and the records they consumed before
+// dying.
+type WasteRow struct {
+	Job           string  `json:"job"`
+	FaultAttempts int     `json:"fault_attempts"`
+	WallSeconds   float64 `json:"wall_s"`
+	WastedRecords int64   `json:"wasted_records"`
+}
+
+// AttemptRow is one task attempt in the top-K slowest list.
+type AttemptRow struct {
+	Job      string  `json:"job"`
+	Phase    string  `json:"phase"`
+	Task     string  `json:"task"`
+	Seconds  float64 `json:"seconds"`
+	Outcome  string  `json:"outcome"`
+	StartS   float64 `json:"start_s"`
+	Retries  int64   `json:"retries,omitempty"`
+	Straggle float64 `json:"straggler_s,omitempty"`
+}
+
+// ---- parsing --------------------------------------------------------------
+
+// parseTrace reads a JSONL trace and reconstructs the span forest.
+func parseTrace(r io.Reader) (spans map[int64]*span, roots []*span, events int, err error) {
+	spans = make(map[int64]*span)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev traceEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, nil, events, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		events++
+		switch ev.Ev {
+		case "begin":
+			s := &span{id: ev.ID, parent: ev.Parent, kind: ev.Kind, name: ev.Name,
+				attempt: ev.Attempt, phase: ev.Phase, beginTS: ev.TS}
+			if ev.Task != nil {
+				s.task = *ev.Task
+			}
+			spans[ev.ID] = s
+		case "end":
+			s := spans[ev.ID]
+			if s == nil {
+				// End without begin (flight-recorder window may clip begins):
+				// synthesize the span from the end's identity fields.
+				s = &span{id: ev.ID, kind: ev.Kind, name: ev.Name,
+					attempt: ev.Attempt, phase: ev.Phase, beginTS: ev.TS - ev.RealS}
+				if ev.Task != nil {
+					s.task = *ev.Task
+				}
+				spans[ev.ID] = s
+			}
+			s.closed = true
+			s.endTS = ev.TS
+			s.outcome = ev.Outcome
+			s.errText = ev.Err
+			s.realS = ev.RealS
+			s.simS = ev.SimS
+			s.retries = ev.Retries
+			if ev.Ctrs != nil {
+				s.counters = *ev.Ctrs
+			}
+			if ev.Wasted != nil {
+				s.wasted = *ev.Wasted
+			}
+		case "point":
+			if s := spans[ev.Span]; s != nil {
+				e := ev
+				s.points = append(s.points, &e)
+			}
+		default:
+			return nil, nil, events, fmt.Errorf("line %d: unknown event %q", lineNo, ev.Ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, events, err
+	}
+	ids := make([]int64, 0, len(spans))
+	for id := range spans {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		s := spans[id]
+		if parent := spans[s.parent]; s.parent != 0 && parent != nil {
+			parent.children = append(parent.children, s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	return spans, roots, events, nil
+}
+
+// ---- analysis -------------------------------------------------------------
+
+// analyze builds the full analysis of a parsed trace. topK bounds the
+// slowest-attempts list.
+func analyze(spans map[int64]*span, roots []*span, events, topK int) *Analysis {
+	a := &Analysis{Events: events, Spans: len(spans)}
+	for _, root := range roots {
+		a.Runs = append(a.Runs, analyzeRun(root, topK))
+	}
+	return a
+}
+
+func analyzeRun(root *span, topK int) RunAnalysis {
+	ra := RunAnalysis{
+		Name: root.name, Kind: root.kind,
+		Outcome: root.outcome, Err: root.errText,
+		WallSeconds:      root.realS,
+		SimulatedSeconds: root.simS,
+		Counters:         root.counters,
+		Wasted:           root.wasted,
+		Retries:          root.retries,
+	}
+	if !root.closed {
+		ra.Outcome = "unclosed"
+	}
+
+	// Walk the subtree once, collecting task attempts, phases, points.
+	var tasks []*span
+	straggle := make(map[jobPhaseKey]*StragglerRow)
+	waste := make(map[string]*WasteRow)
+	var walk func(s *span)
+	walk = func(s *span) {
+		switch s.kind {
+		case "phase":
+			row := PhaseRow{Name: s.name, WallSeconds: s.realS, SimulatedSeconds: s.simS,
+				MapIn: s.counters.MapInputRecords, ShuffledBytes: s.counters.ShuffledBytes,
+				Retries: s.retries}
+			for _, c := range s.children {
+				if c.kind == "job" {
+					row.Jobs++
+					for _, t := range c.children {
+						if t.kind == "task" && t.task != -1 {
+							row.Tasks++
+						}
+					}
+				}
+			}
+			ra.Phases = append(ra.Phases, row)
+		case "task":
+			if s.task != -1 {
+				tasks = append(tasks, s)
+				ra.TaskAttempts++
+				switch s.outcome {
+				case "fault":
+					ra.Faults++
+					wr := waste[s.name]
+					if wr == nil {
+						wr = &WasteRow{Job: s.name}
+						waste[s.name] = wr
+					}
+					wr.FaultAttempts++
+					wr.WallSeconds += s.realS
+					wr.WastedRecords += s.wasted.MapInputRecords + s.wasted.ReduceInputVals
+				case "cancelled":
+					ra.Cancels++
+				}
+			}
+		}
+		for _, p := range s.points {
+			switch p.Point {
+			case "straggler":
+				k := jobPhaseKey{p.Name, p.Phase}
+				sr := straggle[k]
+				if sr == nil {
+					sr = &StragglerRow{Job: p.Name, Phase: p.Phase}
+					straggle[k] = sr
+				}
+				sr.Count++
+				sr.Seconds += p.Seconds
+			case "cancel":
+				ra.Cancels++
+			}
+		}
+		for _, c := range s.children {
+			walk(c)
+		}
+	}
+	walk(root)
+
+	ra.CriticalPath = criticalPath(root)
+	ra.Skew = skewRows(tasks)
+	ra.Stragglers = sortedStragglers(straggle)
+	ra.RetryWaste = sortedWaste(waste)
+	ra.Slowest = slowestAttempts(tasks, topK)
+	return ra
+}
+
+// criticalPath follows, from the root down, the child that finishes last —
+// the chain of spans whose completion gated the run's end. Ties break
+// toward the longer child, then the higher span ID (later-allocated).
+func criticalPath(root *span) []CPStep {
+	var path []CPStep
+	for s := root; s != nil; {
+		dur := s.endTS - s.beginTS
+		if s.realS > 0 {
+			dur = s.realS
+		}
+		step := CPStep{Kind: s.kind, Name: s.name, Phase: s.phase, Task: s.taskStr(),
+			StartS: s.beginTS, EndS: s.endTS, DurationS: dur, SelfSeconds: dur}
+		var last *span
+		for _, c := range s.children {
+			if !c.closed {
+				continue
+			}
+			if last == nil || c.endTS > last.endTS ||
+				(c.endTS == last.endTS && (c.endTS-c.beginTS > last.endTS-last.beginTS ||
+					(c.endTS-c.beginTS == last.endTS-last.beginTS && c.id > last.id))) {
+				last = c
+			}
+		}
+		if last != nil {
+			step.SelfSeconds = dur - (last.endTS - last.beginTS)
+			if step.SelfSeconds < 0 {
+				step.SelfSeconds = 0
+			}
+		}
+		path = append(path, step)
+		s = last
+	}
+	return path
+}
+
+// jobPhaseKey groups task attempts by job name and task phase.
+type jobPhaseKey struct{ job, phase string }
+
+// skewRows computes per-(job, task-phase) duration skew.
+func skewRows(tasks []*span) []SkewRow {
+	groups := make(map[jobPhaseKey][]*span)
+	for _, t := range tasks {
+		k := jobPhaseKey{t.name, t.phase}
+		groups[k] = append(groups[k], t)
+	}
+	keys := make([]jobPhaseKey, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].job != keys[j].job {
+			return keys[i].job < keys[j].job
+		}
+		return keys[i].phase < keys[j].phase
+	})
+	var rows []SkewRow
+	for _, k := range keys {
+		g := groups[k]
+		durs := make([]float64, len(g))
+		slowest := g[0]
+		for i, t := range g {
+			durs[i] = t.realS
+			if t.realS > slowest.realS {
+				slowest = t
+			}
+		}
+		sort.Float64s(durs)
+		row := SkewRow{Job: k.job, Phase: k.phase, Tasks: len(g),
+			MedianS:   quantileOf(durs, 0.5),
+			P90S:      quantileOf(durs, 0.9),
+			MaxS:      durs[len(durs)-1],
+			SlowestID: slowest.taskStr(),
+		}
+		if row.MedianS > 0 {
+			row.Skew = row.MaxS / row.MedianS
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// quantileOf reads the q-quantile of a sorted sample by nearest-rank.
+func quantileOf(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func sortedStragglers(m map[jobPhaseKey]*StragglerRow) []StragglerRow {
+	rows := make([]StragglerRow, 0, len(m))
+	for _, r := range m {
+		rows = append(rows, *r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Seconds != rows[j].Seconds {
+			return rows[i].Seconds > rows[j].Seconds
+		}
+		if rows[i].Job != rows[j].Job {
+			return rows[i].Job < rows[j].Job
+		}
+		return rows[i].Phase < rows[j].Phase
+	})
+	return rows
+}
+
+func sortedWaste(m map[string]*WasteRow) []WasteRow {
+	rows := make([]WasteRow, 0, len(m))
+	for _, r := range m {
+		rows = append(rows, *r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].WallSeconds != rows[j].WallSeconds {
+			return rows[i].WallSeconds > rows[j].WallSeconds
+		}
+		return rows[i].Job < rows[j].Job
+	})
+	return rows
+}
+
+func slowestAttempts(tasks []*span, topK int) []AttemptRow {
+	sorted := append([]*span(nil), tasks...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].realS != sorted[j].realS {
+			return sorted[i].realS > sorted[j].realS
+		}
+		return sorted[i].id < sorted[j].id
+	})
+	if topK > 0 && len(sorted) > topK {
+		sorted = sorted[:topK]
+	}
+	rows := make([]AttemptRow, 0, len(sorted))
+	for _, t := range sorted {
+		row := AttemptRow{Job: t.name, Phase: t.phase, Task: t.taskStr(),
+			Seconds: t.realS, Outcome: t.outcome, StartS: t.beginTS, Retries: t.retries}
+		for _, p := range t.points {
+			if p.Point == "straggler" {
+				row.Straggle += p.Seconds
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

@@ -1,0 +1,166 @@
+// Command p3ctrace analyzes a JSONL trace produced by p3crun -trace (or a
+// flight-recorder post-mortem): it reconstructs the span tree and reports
+// the critical path, per-phase wall/simulated cost, task-duration skew,
+// straggler and retry-waste attribution, and the slowest task attempts.
+//
+// Usage:
+//
+//	p3ctrace [-json] [-top K] trace.jsonl
+//	p3crun ... -trace /dev/stdout | p3ctrace -
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the full analysis as JSON")
+	topK := flag.Int("top", 10, "how many slowest task attempts to list")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: p3ctrace [flags] trace.jsonl\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var in io.Reader
+	if path := flag.Arg(0); path == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p3ctrace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	spans, roots, events, err := parseTrace(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p3ctrace: %v\n", err)
+		os.Exit(1)
+	}
+	a := analyze(spans, roots, events, *topK)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(a); err != nil {
+			fmt.Fprintf(os.Stderr, "p3ctrace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := writeText(os.Stdout, a); err != nil {
+		fmt.Fprintf(os.Stderr, "p3ctrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func writeText(w io.Writer, a *Analysis) error {
+	fmt.Fprintf(w, "trace: %d events, %d spans, %d root span(s)\n", a.Events, a.Spans, len(a.Runs))
+	for i := range a.Runs {
+		if err := writeRun(w, &a.Runs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeRun(w io.Writer, r *RunAnalysis) error {
+	fmt.Fprintf(w, "\n=== %s %q: %s, %.3f s wall, %.3f s simulated ===\n",
+		r.Kind, r.Name, r.Outcome, r.WallSeconds, r.SimulatedSeconds)
+	if r.Err != "" {
+		fmt.Fprintf(w, "error: %s\n", r.Err)
+	}
+	fmt.Fprintf(w, "%d task attempts (%d faulted, %d cancelled), %d retries, %d wasted records\n",
+		r.TaskAttempts, r.Faults, r.Cancels, r.Retries,
+		r.Wasted.MapInputRecords+r.Wasted.ReduceInputVals)
+
+	if len(r.Phases) > 0 {
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "\nphase\twall s\tsim s\tmap in\tshuffled B\tretries\tjobs\ttasks")
+		for _, p := range r.Phases {
+			fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%d\t%d\t%d\t%d\t%d\n",
+				p.Name, p.WallSeconds, p.SimulatedSeconds, p.MapIn, p.ShuffledBytes,
+				p.Retries, p.Jobs, p.Tasks)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+
+	if len(r.CriticalPath) > 0 {
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "\ncritical path\tspan\tstart s\tdur s\tself s")
+		for _, s := range r.CriticalPath {
+			id := s.Name
+			if s.Task != "" {
+				id += " task " + s.Task
+			}
+			if s.Phase != "" && s.Kind != "phase" {
+				id += " [" + s.Phase + "]"
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.3f\t%.3f\n", s.Kind, id, s.StartS, s.DurationS, s.SelfSeconds)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+
+	if len(r.Skew) > 0 {
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "\nskew (job/phase)\ttasks\tmedian s\tp90 s\tmax s\tmax/median\tslowest")
+		for _, s := range r.Skew {
+			fmt.Fprintf(tw, "%s/%s\t%d\t%.4f\t%.4f\t%.4f\t%.2f\t%s\n",
+				s.Job, s.Phase, s.Tasks, s.MedianS, s.P90S, s.MaxS, s.Skew, s.SlowestID)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+
+	if len(r.Stragglers) > 0 {
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "\nstragglers (job/phase)\tcount\tsim s charged")
+		for _, s := range r.Stragglers {
+			fmt.Fprintf(tw, "%s/%s\t%d\t%.3f\n", s.Job, s.Phase, s.Count, s.Seconds)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+
+	if len(r.RetryWaste) > 0 {
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "\nretry waste (job)\tfault attempts\twall s\twasted records")
+		for _, s := range r.RetryWaste {
+			fmt.Fprintf(tw, "%s\t%d\t%.4f\t%d\n", s.Job, s.FaultAttempts, s.WallSeconds, s.WastedRecords)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+
+	if len(r.Slowest) > 0 {
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "\nslowest attempts\tjob\tphase\ttask\twall s\toutcome\tstraggler s")
+		for i, s := range r.Slowest {
+			fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%.4f\t%s\t%.3f\n",
+				i+1, s.Job, s.Phase, s.Task, s.Seconds, s.Outcome, s.Straggle)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -188,6 +188,20 @@ func LightParams() Params {
 	return p
 }
 
+// PhasePlan lists the pipeline phases Run will execute under these
+// parameters, in order, matching the phase span names Run emits. Progress
+// sinks use it to estimate completion before a learned profile exists.
+func (p Params) PhasePlan() []string {
+	plan := []string{"histograms", "core-generation"}
+	if p.UseRedundancyFilter {
+		plan = append(plan, "redundancy-filter")
+	}
+	if p.SkipRefinement {
+		return append(plan, "light-membership", "attribute-inspection", "tightening")
+	}
+	return append(plan, "em", "outlier-detection", "attribute-inspection", "tightening")
+}
+
 // Validate reports parameter errors.
 func (p Params) Validate() error {
 	if p.AlphaChi2 <= 0 || p.AlphaChi2 >= 1 {

@@ -18,4 +18,22 @@ func good() time.Duration {
 	return d
 }
 
+// badHandler is the ops-plane shape: an HTTP-handler-style closure timing
+// its own request. Handlers are not exempt — request timing belongs to the
+// obs layer too.
+func badHandler() func() {
+	return func() {
+		start := time.Now() // want "time.Now outside internal/obs"
+		work()
+		_ = time.Since(start) // want "time.Since outside internal/obs"
+	}
+}
+
+// goodHandlerParamTime takes the timestamp as data instead of reading the
+// clock: snapshots carry their own capture times.
+func goodHandlerParamTime(captured time.Time, linger time.Duration) time.Time {
+	// Deriving from a passed-in time is clock-free.
+	return captured.Add(linger)
+}
+
 func work() {}

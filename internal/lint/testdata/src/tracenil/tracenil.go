@@ -85,3 +85,50 @@ func (e *Engine) goodMetricsGuard() {
 		e.cfg.Metrics.Inc("tasks")
 	}
 }
+
+// --- ops-plane handler idioms (PR 5) ---------------------------------------
+
+// handlerFactoryBad builds a handler closure that touches the captured
+// handle with no guard at all: the factory's caller cannot promise non-nil.
+func handlerFactoryBad(tr Tracer) func() {
+	return func() {
+		tr.Point(Point{}) // want "call tr.Point on a nilable tracing handle"
+	}
+}
+
+// goodHandlerEarlyReturn mirrors the ops server's unconfigured-endpoint
+// idiom: the nil check lives inside the closure body, so it dominates the
+// call no matter when the handler runs.
+func goodHandlerEarlyReturn(tr Tracer) func() {
+	return func() {
+		if tr == nil {
+			return // the real handler answers 503 here
+		}
+		tr.Point(Point{})
+	}
+}
+
+// goodHandlerMetricsGuard is the same shape for a metrics registry captured
+// by an ops handler.
+func goodHandlerMetricsGuard(reg *Registry) func() {
+	return func() {
+		if reg == nil {
+			return
+		}
+		reg.Inc("http_requests")
+	}
+}
+
+// badSinkFanout forwards to a possibly-nil downstream handle held in a
+// struct: multi-sink fan-out must guard each leg.
+type fanout struct{ next Tracer }
+
+func (f *fanout) badSinkFanout(p Point) {
+	f.next.Point(p) // want "call f.next.Point on a nilable tracing handle"
+}
+
+func (f *fanout) goodSinkFanout(p Point) {
+	if f.next != nil {
+		f.next.Point(p)
+	}
+}

@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// FlightRecorder is a bounded-memory tracer for huge runs where full JSONL
+// tracing is too heavy: it keeps the last Limit events in a ring buffer
+// and, separately, *every* critical event (fault/retry/straggler/cancel
+// points and non-OK span closings) evicted from the ring — so a post-mortem
+// always contains the complete failure history plus the freshest window of
+// ordinary activity, no matter how long the run was.
+//
+// When a run span ends with a permanent failure (outcome error), the
+// recorder automatically dumps a JSONL post-mortem through the writer
+// factory installed with SetDump. The dump format is the JSONLTracer wire
+// format, so cmd/p3ctrace analyzes post-mortems like any trace (timestamps
+// are capture times relative to the recorder's creation).
+type FlightRecorder struct {
+	mu    sync.Mutex
+	limit int
+	start time.Time
+	seq   int64
+
+	ring []flightEvent // capacity limit; circular once full
+	next int           // slot the next event overwrites when full
+	crit []flightEvent // critical events evicted from the ring, in order
+
+	dump    func(run End) (io.WriteCloser, error)
+	dumpErr error
+	dumps   int
+}
+
+// flightEvent is one captured event with its arrival order and timestamp.
+type flightEvent struct {
+	seq   int64
+	ts    float64
+	ev    string // "begin" | "end" | "point"
+	start Start
+	end   End
+	point Point
+}
+
+// DefaultFlightLimit is the ring size used when NewFlightRecorder gets a
+// non-positive limit.
+const DefaultFlightLimit = 4096
+
+// NewFlightRecorder returns a recorder retaining the last limit events
+// (DefaultFlightLimit when limit <= 0).
+func NewFlightRecorder(limit int) *FlightRecorder {
+	if limit <= 0 {
+		limit = DefaultFlightLimit
+	}
+	return &FlightRecorder{limit: limit, start: Now()}
+}
+
+// SetDump installs the post-mortem writer factory: open is called with the
+// failing run's End event when a run span closes with outcome error, and
+// the retained events are written to it as JSONL. Errors are sticky and
+// reported by DumpErr — recording must never fail the traced computation.
+func (f *FlightRecorder) SetDump(open func(run End) (io.WriteCloser, error)) {
+	f.mu.Lock()
+	f.dump = open
+	f.mu.Unlock()
+}
+
+// critical reports whether an event must survive ring eviction: every point
+// event (faults, retries, stragglers, cancels are exactly the PointKinds)
+// and every span that ended in something other than success.
+func (e *flightEvent) critical() bool {
+	switch e.ev {
+	case "point":
+		return true
+	case "end":
+		return e.end.Outcome != OutcomeOK
+	}
+	return false
+}
+
+// record appends one event to the ring, spilling the evicted event into the
+// critical list when it must be retained. Caller holds f.mu.
+func (f *FlightRecorder) record(e flightEvent) {
+	e.seq = f.seq
+	f.seq++
+	e.ts = Since(f.start).Seconds()
+	if len(f.ring) < f.limit {
+		f.ring = append(f.ring, e)
+		return
+	}
+	if old := &f.ring[f.next]; old.critical() {
+		f.crit = append(f.crit, *old)
+	}
+	f.ring[f.next] = e
+	f.next = (f.next + 1) % f.limit
+}
+
+// Begin implements Tracer.
+func (f *FlightRecorder) Begin(s Start) {
+	f.mu.Lock()
+	f.record(flightEvent{ev: "begin", start: s})
+	f.mu.Unlock()
+}
+
+// End implements Tracer. A run span ending with outcome error triggers the
+// automatic post-mortem dump.
+func (f *FlightRecorder) End(e End) {
+	f.mu.Lock()
+	f.record(flightEvent{ev: "end", end: e})
+	dump := f.dump
+	failed := e.Kind == KindRun && e.Outcome != OutcomeOK
+	f.mu.Unlock()
+	if failed && dump != nil {
+		f.dumpTo(dump, e)
+	}
+}
+
+// Point implements Tracer.
+func (f *FlightRecorder) Point(p Point) {
+	f.mu.Lock()
+	f.record(flightEvent{ev: "point", point: p})
+	f.mu.Unlock()
+}
+
+func (f *FlightRecorder) dumpTo(open func(End) (io.WriteCloser, error), run End) {
+	w, err := open(run)
+	if err != nil {
+		f.setDumpErr(err)
+		return
+	}
+	err = f.Dump(w)
+	if cerr := w.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		f.setDumpErr(err)
+		return
+	}
+	f.mu.Lock()
+	f.dumps++
+	f.mu.Unlock()
+}
+
+func (f *FlightRecorder) setDumpErr(err error) {
+	f.mu.Lock()
+	if f.dumpErr == nil {
+		f.dumpErr = err
+	}
+	f.mu.Unlock()
+}
+
+// Dump writes the retained events — evicted critical events first, then the
+// ring window — as JSONL in capture order.
+func (f *FlightRecorder) Dump(w io.Writer) error {
+	f.mu.Lock()
+	events := make([]flightEvent, 0, len(f.crit)+len(f.ring))
+	events = append(events, f.crit...)
+	// Ring contents in arrival order: oldest is at next once the ring
+	// wrapped, at 0 before.
+	for i := 0; i < len(f.ring); i++ {
+		events = append(events, f.ring[(f.next+i)%len(f.ring)])
+	}
+	f.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for i := range events {
+		e := &events[i]
+		var line *jsonlLine
+		switch e.ev {
+		case "begin":
+			line = beginLine(e.start)
+		case "end":
+			line = endLine(e.end)
+		case "point":
+			line = pointLine(e.point)
+		default:
+			return fmt.Errorf("obs: flight recorder holds unknown event kind %q", e.ev)
+		}
+		line.TS = e.ts
+		b, err := json.Marshal(line)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Len reports how many events the ring currently holds (≤ the limit).
+func (f *FlightRecorder) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.ring)
+}
+
+// CriticalRetained reports how many critical events have been spilled out
+// of the ring so far.
+func (f *FlightRecorder) CriticalRetained() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.crit)
+}
+
+// Dumps reports how many post-mortems were written successfully.
+func (f *FlightRecorder) Dumps() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dumps
+}
+
+// DumpErr reports the sticky post-mortem write error, if any.
+func (f *FlightRecorder) DumpErr() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dumpErr
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"testing"
+)
+
+// feedFlight drives n begin/end pairs through f, faulting every faultEvery-th
+// task (emitting a fault point and a fault end). Returns the number of
+// critical events fed (points + non-OK ends).
+func feedFlight(f *FlightRecorder, n, faultEvery int) int {
+	critical := 0
+	for i := 0; i < n; i++ {
+		id := NewSpanID()
+		f.Begin(Start{ID: id, Kind: KindTask, Name: "job", Task: i, Phase: "map"})
+		if faultEvery > 0 && i%faultEvery == 0 {
+			f.Point(Point{Span: id, Kind: PointFault, Name: "job", Task: i, Phase: "map"})
+			f.End(End{ID: id, Kind: KindTask, Name: "job", Task: i, Phase: "map", Outcome: OutcomeFault})
+			critical += 2
+		} else {
+			f.End(End{ID: id, Kind: KindTask, Name: "job", Task: i, Phase: "map", Outcome: OutcomeOK})
+		}
+	}
+	return critical
+}
+
+func TestFlightRecorderBoundAndRetention(t *testing.T) {
+	const limit = 16
+	f := NewFlightRecorder(limit)
+	critical := feedFlight(f, 500, 10) // 1000 events, 100 critical
+
+	if got := f.Len(); got != limit {
+		t.Errorf("ring holds %d events, want the limit %d", got, limit)
+	}
+
+	var buf bytes.Buffer
+	if err := f.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	faultPoints, faultEnds, lines := 0, 0, 0
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		lines++
+		var line map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("dump line %d not JSON: %v", lines, err)
+		}
+		switch line["ev"] {
+		case "point":
+			if line["point"] == "fault" {
+				faultPoints++
+			}
+		case "end":
+			if line["outcome"] == "fault" {
+				faultEnds++
+			}
+		case "begin":
+		default:
+			t.Fatalf("dump line %d has unknown ev %v", lines, line["ev"])
+		}
+	}
+	// Every critical event survives eviction: all 50 fault points and all 50
+	// fault ends must be in the dump even though the ring only holds 16
+	// events.
+	if faultPoints != 50 || faultEnds != 50 {
+		t.Errorf("dump retained %d fault points, %d fault ends; want 50/50", faultPoints, faultEnds)
+	}
+	if want := f.CriticalRetained() + f.Len(); lines != want {
+		t.Errorf("dump has %d lines, want crit+ring = %d", lines, want)
+	}
+	if f.CriticalRetained() > critical {
+		t.Errorf("CriticalRetained() = %d > %d critical events fed", f.CriticalRetained(), critical)
+	}
+}
+
+// closeBuffer is a bytes.Buffer with a Close, for SetDump factories.
+type closeBuffer struct{ bytes.Buffer }
+
+func (c *closeBuffer) Close() error { return nil }
+
+func TestFlightRecorderAutoDump(t *testing.T) {
+	f := NewFlightRecorder(32)
+	var dumped closeBuffer
+	var gotRun End
+	f.SetDump(func(run End) (io.WriteCloser, error) {
+		gotRun = run
+		return &dumped, nil
+	})
+
+	run := NewSpanID()
+	f.Begin(Start{ID: run, Kind: KindRun, Name: "pipeline"})
+	feedFlight(f, 3, 0)
+
+	// A successful run end must NOT dump.
+	okRun := NewSpanID()
+	f.Begin(Start{ID: okRun, Kind: KindRun, Name: "ok-pipeline"})
+	f.End(End{ID: okRun, Kind: KindRun, Name: "ok-pipeline", Outcome: OutcomeOK})
+	if f.Dumps() != 0 {
+		t.Fatalf("successful run end triggered a dump")
+	}
+
+	f.End(End{ID: run, Kind: KindRun, Name: "pipeline", Outcome: OutcomeError, Err: "job failed permanently"})
+	if f.Dumps() != 1 {
+		t.Fatalf("Dumps() = %d after failed run end, want 1", f.Dumps())
+	}
+	if gotRun.Name != "pipeline" || gotRun.Err != "job failed permanently" {
+		t.Errorf("dump factory got run end %+v", gotRun)
+	}
+	if dumped.Len() == 0 {
+		t.Fatal("post-mortem dump is empty")
+	}
+	// Post-mortem parses as JSONL and contains the failing run end.
+	sc := bufio.NewScanner(&dumped)
+	sawFailEnd := false
+	for sc.Scan() {
+		var line map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("post-mortem line not JSON: %v", err)
+		}
+		if line["ev"] == "end" && line["kind"] == "run" && line["outcome"] == "error" {
+			sawFailEnd = true
+		}
+	}
+	if !sawFailEnd {
+		t.Error("post-mortem does not contain the failing run end")
+	}
+
+	// Dump-factory errors are sticky, not fatal.
+	f2 := NewFlightRecorder(8)
+	wantErr := errors.New("disk full")
+	f2.SetDump(func(End) (io.WriteCloser, error) { return nil, wantErr })
+	r2 := NewSpanID()
+	f2.Begin(Start{ID: r2, Kind: KindRun, Name: "p"})
+	f2.End(End{ID: r2, Kind: KindRun, Name: "p", Outcome: OutcomeError})
+	if !errors.Is(f2.DumpErr(), wantErr) {
+		t.Errorf("DumpErr() = %v, want %v", f2.DumpErr(), wantErr)
+	}
+	if f2.Dumps() != 0 {
+		t.Errorf("Dumps() = %d after failed dump, want 0", f2.Dumps())
+	}
+}
+
+func TestFlightRecorderDefaultLimit(t *testing.T) {
+	f := NewFlightRecorder(0)
+	feedFlight(f, DefaultFlightLimit, 0) // 2·limit events
+	if got := f.Len(); got != DefaultFlightLimit {
+		t.Errorf("Len() = %d, want DefaultFlightLimit %d", got, DefaultFlightLimit)
+	}
+	if got := f.CriticalRetained(); got != 0 {
+		t.Errorf("CriticalRetained() = %d with no critical events, want 0", got)
+	}
+	// Dump order: strictly increasing timestamps across crit+ring.
+	var buf bytes.Buffer
+	if err := f.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var line struct {
+			TS float64 `json:"ts"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatal(err)
+		}
+		if line.TS < prev {
+			t.Fatalf("dump timestamps go backwards: %g after %g", line.TS, prev)
+		}
+		prev = line.TS
+	}
+}

@@ -86,9 +86,11 @@ func ctrPtr(c Counters) *Counters {
 	return &c
 }
 
-// Begin implements Tracer.
-func (t *JSONLTracer) Begin(s Start) {
-	t.write(&jsonlLine{
+// beginLine, endLine and pointLine build the wire form of one event. TS is
+// left zero for the caller (JSONLTracer stamps write time; FlightRecorder
+// replays the capture timestamp).
+func beginLine(s Start) *jsonlLine {
+	return &jsonlLine{
 		Ev:      "begin",
 		ID:      int64(s.ID),
 		Parent:  int64(s.Parent),
@@ -97,12 +99,11 @@ func (t *JSONLTracer) Begin(s Start) {
 		Task:    taskPtr(s.Kind, s.Task),
 		Attempt: s.Attempt,
 		Phase:   s.Phase,
-	})
+	}
 }
 
-// End implements Tracer.
-func (t *JSONLTracer) End(e End) {
-	t.write(&jsonlLine{
+func endLine(e End) *jsonlLine {
+	return &jsonlLine{
 		Ev:      "end",
 		ID:      int64(e.ID),
 		Kind:    e.Kind.String(),
@@ -117,12 +118,11 @@ func (t *JSONLTracer) End(e End) {
 		Retries: e.Retries,
 		Ctrs:    ctrPtr(e.Counters),
 		Wasted:  ctrPtr(e.Wasted),
-	})
+	}
 }
 
-// Point implements Tracer.
-func (t *JSONLTracer) Point(p Point) {
-	t.write(&jsonlLine{
+func pointLine(p Point) *jsonlLine {
+	return &jsonlLine{
 		Ev:      "point",
 		Span:    int64(p.Span),
 		Point:   p.Kind.String(),
@@ -131,8 +131,17 @@ func (t *JSONLTracer) Point(p Point) {
 		Attempt: p.Attempt,
 		Phase:   p.Phase,
 		Seconds: p.Seconds,
-	})
+	}
 }
+
+// Begin implements Tracer.
+func (t *JSONLTracer) Begin(s Start) { t.write(beginLine(s)) }
+
+// End implements Tracer.
+func (t *JSONLTracer) End(e End) { t.write(endLine(e)) }
+
+// Point implements Tracer.
+func (t *JSONLTracer) Point(p Point) { t.write(pointLine(p)) }
 
 // Flush forces buffered lines out.
 func (t *JSONLTracer) Flush() error {

@@ -54,6 +54,15 @@ type Histogram struct {
 	sum    Gauge
 }
 
+// newHistogram builds a histogram with the given (copied, sorted) bucket
+// upper bounds — shared by Registry.Histogram and standalone users like
+// ReportCollector.
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
 	i := 0
@@ -75,6 +84,44 @@ type HistogramSnapshot struct {
 	Counts []int64   `json:"counts"`
 	Count  int64     `json:"count"`
 	Sum    float64   `json:"sum"`
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// within the bucket that holds the q·Count-th observation — the same
+// estimator Prometheus' histogram_quantile uses. The first bucket
+// interpolates from 0 (observations are durations/sizes here); a quantile
+// landing in the overflow bucket is clamped to the highest bound. Returns
+// 0 on an empty histogram.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	cum := 0.0
+	for i, n := range h.Counts {
+		prev := cum
+		cum += float64(n)
+		if cum < rank || n == 0 {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			// Overflow bucket: no upper bound to interpolate toward.
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		hi := h.Bounds[i]
+		return lo + (hi-lo)*(rank-prev)/float64(n)
+	}
+	return h.Bounds[len(h.Bounds)-1]
 }
 
 // Registry holds named metrics. Get-or-create lookups take a mutex; the
@@ -127,9 +174,7 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	defer r.mu.Unlock()
 	h := r.hists[name]
 	if h == nil {
-		b := append([]float64(nil), bounds...)
-		sort.Float64s(b)
-		h = &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+		h = newHistogram(bounds)
 		r.hists[name] = h
 	}
 	return h
@@ -158,18 +203,23 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[name] = g.Value()
 	}
 	for name, h := range r.hists {
-		hs := HistogramSnapshot{
-			Bounds: append([]float64(nil), h.bounds...),
-			Counts: make([]int64, len(h.counts)),
-			Count:  h.total.Load(),
-			Sum:    h.sum.Value(),
-		}
-		for i := range h.counts {
-			hs.Counts[i] = h.counts[i].Load()
-		}
-		s.Histograms[name] = hs
+		s.Histograms[name] = h.Snapshot()
 	}
 	return s
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	hs := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.total.Load(),
+		Sum:    h.sum.Value(),
+	}
+	for i := range h.counts {
+		hs.Counts[i] = h.counts[i].Load()
+	}
+	return hs
 }
 
 // WriteText renders the snapshot as sorted "name value" lines — a minimal
@@ -187,7 +237,8 @@ func (s Snapshot) WriteText(w io.Writer) error {
 	}
 	for _, n := range sortedKeys(s.Histograms) {
 		h := s.Histograms[n]
-		if _, err := fmt.Fprintf(w, "%s count=%d sum=%g buckets=%v le=%v\n", n, h.Count, h.Sum, h.Counts, h.Bounds); err != nil {
+		if _, err := fmt.Fprintf(w, "%s count=%d sum=%g p50=%g p90=%g p99=%g buckets=%v le=%v\n",
+			n, h.Count, h.Sum, h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99), h.Counts, h.Bounds); err != nil {
 			return err
 		}
 	}

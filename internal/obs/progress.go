@@ -1,0 +1,422 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Progress is a Tracer sink that folds the live span stream into per-run
+// progress state — the data behind the ops server's /runs endpoints. For
+// every run it tracks the phase sequence, job and task-attempt completion
+// counts, fault/retry/cancel/straggler activity, the committed counter
+// deltas (and a records/sec throughput derived from them), elapsed wall
+// time, and an ETA.
+//
+// ETA sources, best first: a *learned profile* (the per-phase wall-time
+// split of the last successfully completed run with the same name), then a
+// *phase plan* registered via SetPhasePlan (progress is the fraction of
+// planned phases finished), else unknown (-1). All clock reads go through
+// obs.Now, the package's sanctioned wall-clock shim.
+//
+// Progress is safe for concurrent use and, like every sink, is pure
+// observation: it never feeds back into execution.
+type Progress struct {
+	mu       sync.Mutex
+	retain   int
+	runs     map[SpanID]*runState
+	order    []SpanID // live runs in Begin order
+	done     []RunSnapshot
+	spanRun  map[SpanID]SpanID
+	plans    map[string][]string
+	profiles map[string]runProfile
+}
+
+// runProfile is the per-phase wall-second split of a completed run, used to
+// weight phase completion into an ETA for the next run of the same name.
+type runProfile struct {
+	phases map[string]float64
+	total  float64
+}
+
+// defaultRetainRuns bounds the completed-run history Snapshot reports.
+const defaultRetainRuns = 32
+
+// NewProgress returns an empty aggregator.
+func NewProgress() *Progress {
+	return &Progress{
+		retain:   defaultRetainRuns,
+		runs:     make(map[SpanID]*runState),
+		spanRun:  make(map[SpanID]SpanID),
+		plans:    make(map[string][]string),
+		profiles: make(map[string]runProfile),
+	}
+}
+
+// SetPhasePlan registers the expected phase order for runs with the given
+// name, enabling plan-based ETA before any run has completed.
+func (p *Progress) SetPhasePlan(runName string, phases []string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.plans[runName] = append([]string(nil), phases...)
+}
+
+// runState accumulates one live run.
+type runState struct {
+	id      SpanID
+	name    string
+	start   time.Time
+	phases  []*phaseState
+	byID    map[SpanID]*phaseState
+	current *phaseState
+
+	jobs, jobsDone              int
+	tasks, tasksDone            int
+	faults, cancels, stragglers int
+	stragglerSeconds            float64
+	retries                     int64
+	counters, wasted            Counters
+	simSeconds                  float64
+}
+
+// phaseState accumulates one pipeline phase within a run.
+type phaseState struct {
+	name        string
+	start       time.Time
+	done        bool
+	realSeconds float64 // authoritative once done; live value is derived
+	simSeconds  float64
+	jobs        int
+	tasks       int
+	retries     int64
+}
+
+// detachedRunID is the synthetic bucket for spans with no enclosing run
+// span — e.g. an engine traced without the pipeline layer.
+const detachedRunID SpanID = 0
+
+func (p *Progress) runFor(parent SpanID) *runState {
+	id, ok := p.spanRun[parent]
+	if !ok {
+		id = detachedRunID
+	}
+	r := p.runs[id]
+	if r == nil && id == detachedRunID {
+		r = &runState{id: detachedRunID, name: "(detached)", start: Now(),
+			byID: make(map[SpanID]*phaseState)}
+		p.runs[detachedRunID] = r
+		p.order = append(p.order, detachedRunID)
+	}
+	return r
+}
+
+// Begin implements Tracer.
+func (p *Progress) Begin(s Start) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch s.Kind {
+	case KindRun:
+		r := &runState{id: s.ID, name: s.Name, start: Now(),
+			byID: make(map[SpanID]*phaseState)}
+		p.runs[s.ID] = r
+		p.order = append(p.order, s.ID)
+		p.spanRun[s.ID] = s.ID
+	case KindPhase:
+		r := p.runFor(s.Parent)
+		if r == nil {
+			return
+		}
+		ph := &phaseState{name: s.Name, start: Now()}
+		r.phases = append(r.phases, ph)
+		r.byID[s.ID] = ph
+		r.current = ph
+		p.spanRun[s.ID] = r.id
+	case KindJob:
+		r := p.runFor(s.Parent)
+		if r == nil {
+			return
+		}
+		r.jobs++
+		if ph := r.byID[s.Parent]; ph != nil {
+			ph.jobs++
+		}
+		p.spanRun[s.ID] = r.id
+	case KindTask:
+		r := p.runFor(s.Parent)
+		if r == nil {
+			return
+		}
+		p.spanRun[s.ID] = r.id
+		if s.Phase == "shuffle" {
+			return
+		}
+		r.tasks++
+		if r.current != nil {
+			r.current.tasks++
+		}
+	}
+}
+
+// End implements Tracer.
+func (p *Progress) End(e End) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	runID, ok := p.spanRun[e.ID]
+	if !ok {
+		if e.Kind == KindRun {
+			return
+		}
+		runID = detachedRunID
+	}
+	delete(p.spanRun, e.ID)
+	r := p.runs[runID]
+	if r == nil {
+		return
+	}
+	switch e.Kind {
+	case KindRun:
+		p.finishRun(r, e)
+	case KindPhase:
+		if ph := r.byID[e.ID]; ph != nil {
+			ph.done = true
+			ph.realSeconds = e.RealSeconds
+			ph.simSeconds = e.SimulatedSeconds
+			ph.retries = e.Retries
+			if r.current == ph {
+				r.current = nil
+			}
+		}
+	case KindJob:
+		r.jobsDone++
+		r.counters.Add(e.Counters)
+		r.wasted.Add(e.Wasted)
+		r.simSeconds += e.SimulatedSeconds
+		r.retries += e.Retries
+	case KindTask:
+		if e.Phase == "shuffle" {
+			return
+		}
+		r.tasksDone++
+		switch e.Outcome {
+		case OutcomeFault:
+			r.faults++
+		case OutcomeCancelled:
+			r.cancels++
+		}
+	}
+}
+
+// Point implements Tracer.
+func (p *Progress) Point(pt Point) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	runID, ok := p.spanRun[pt.Span]
+	if !ok {
+		runID = detachedRunID
+	}
+	r := p.runs[runID]
+	if r == nil {
+		return
+	}
+	switch pt.Kind {
+	case PointStraggler:
+		r.stragglers++
+		r.stragglerSeconds += pt.Seconds
+	case PointCancel:
+		r.cancels++
+	}
+}
+
+// finishRun moves a run into the completed ring and, on success, records
+// its per-phase wall-time split as the ETA profile for the next run of the
+// same name. Caller holds p.mu.
+func (p *Progress) finishRun(r *runState, e End) {
+	snap := p.snapshotLocked(r, false)
+	snap.Outcome = e.Outcome.String()
+	snap.Err = e.Err
+	snap.ElapsedSeconds = e.RealSeconds
+	snap.ETASeconds = 0
+	if snap.ElapsedSeconds > 0 {
+		snap.RecordsPerSec = float64(snap.Records) / snap.ElapsedSeconds
+	}
+	p.done = append(p.done, snap)
+	if len(p.done) > p.retain {
+		p.done = p.done[len(p.done)-p.retain:]
+	}
+	if e.Outcome == OutcomeOK && len(r.phases) > 0 {
+		prof := runProfile{phases: make(map[string]float64, len(r.phases))}
+		for _, ph := range r.phases {
+			prof.phases[ph.name] += ph.realSeconds
+			prof.total += ph.realSeconds
+		}
+		if prof.total > 0 {
+			p.profiles[r.name] = prof
+		}
+	}
+	delete(p.runs, r.id)
+	for i, id := range p.order {
+		if id == r.id {
+			p.order = append(p.order[:i], p.order[i+1:]...)
+			break
+		}
+	}
+	// Drop any still-open span routes into the finished run (e.g. phases
+	// abandoned by an error path).
+	for span, run := range p.spanRun {
+		if run == r.id {
+			delete(p.spanRun, span)
+		}
+	}
+}
+
+// PhaseSnapshot is the progress of one pipeline phase.
+type PhaseSnapshot struct {
+	Name             string  `json:"name"`
+	Done             bool    `json:"done"`
+	RealSeconds      float64 `json:"real_s"`
+	SimulatedSeconds float64 `json:"sim_s"`
+	Jobs             int     `json:"jobs"`
+	Tasks            int     `json:"tasks"`
+	Retries          int64   `json:"retries"`
+}
+
+// RunSnapshot is the point-in-time progress of one run — the /runs/{id}
+// payload.
+type RunSnapshot struct {
+	ID               int64           `json:"id"`
+	Name             string          `json:"name"`
+	Active           bool            `json:"active"`
+	Outcome          string          `json:"outcome,omitempty"`
+	Err              string          `json:"err,omitempty"`
+	ElapsedSeconds   float64         `json:"elapsed_s"`
+	ETASeconds       float64         `json:"eta_s"` // -1 = unknown
+	CurrentPhase     string          `json:"current_phase,omitempty"`
+	Phases           []PhaseSnapshot `json:"phases,omitempty"`
+	Jobs             int             `json:"jobs"`
+	JobsDone         int             `json:"jobs_done"`
+	Tasks            int             `json:"tasks"`
+	TasksDone        int             `json:"tasks_done"`
+	Faults           int             `json:"faults"`
+	Cancels          int             `json:"cancels"`
+	Stragglers       int             `json:"stragglers"`
+	StragglerSeconds float64         `json:"straggler_s,omitempty"`
+	Retries          int64           `json:"retries"`
+	Records          int64           `json:"records"`
+	RecordsPerSec    float64         `json:"records_per_sec"`
+	SimulatedSeconds float64         `json:"sim_s"`
+	Counters         Counters        `json:"counters"`
+	Wasted           Counters        `json:"wasted"`
+}
+
+// snapshotLocked builds the snapshot of a live run. Caller holds p.mu.
+func (p *Progress) snapshotLocked(r *runState, live bool) RunSnapshot {
+	snap := RunSnapshot{
+		ID: int64(r.id), Name: r.name, Active: live,
+		Jobs: r.jobs, JobsDone: r.jobsDone,
+		Tasks: r.tasks, TasksDone: r.tasksDone,
+		Faults: r.faults, Cancels: r.cancels,
+		Stragglers: r.stragglers, StragglerSeconds: r.stragglerSeconds,
+		Retries: r.retries, SimulatedSeconds: r.simSeconds,
+		Counters: r.counters, Wasted: r.wasted,
+	}
+	snap.Records = r.counters.MapInputRecords + r.counters.ReduceInputVals
+	for _, ph := range r.phases {
+		ps := PhaseSnapshot{Name: ph.name, Done: ph.done,
+			RealSeconds: ph.realSeconds, SimulatedSeconds: ph.simSeconds,
+			Jobs: ph.jobs, Tasks: ph.tasks, Retries: ph.retries}
+		if !ph.done {
+			ps.RealSeconds = Since(ph.start).Seconds()
+		}
+		snap.Phases = append(snap.Phases, ps)
+	}
+	if r.current != nil {
+		snap.CurrentPhase = r.current.name
+	}
+	if live {
+		snap.ElapsedSeconds = Since(r.start).Seconds()
+		if snap.ElapsedSeconds > 0 {
+			snap.RecordsPerSec = float64(snap.Records) / snap.ElapsedSeconds
+		}
+		snap.ETASeconds = p.etaLocked(r, snap.ElapsedSeconds)
+	}
+	return snap
+}
+
+// etaLocked estimates the remaining seconds of a live run from the fraction
+// of work done: profile-weighted phase completion when a previous run of
+// the same name finished, plan-based phase counting when a phase plan is
+// registered, -1 (unknown) otherwise. Caller holds p.mu.
+func (p *Progress) etaLocked(r *runState, elapsed float64) float64 {
+	frac := -1.0
+	if prof, ok := p.profiles[r.name]; ok && prof.total > 0 {
+		done := 0.0
+		for _, ph := range r.phases {
+			w, known := prof.phases[ph.name]
+			switch {
+			case ph.done && known:
+				done += w
+			case ph.done:
+				// A phase the profile never saw: assume it is as far along
+				// as its own wall time says.
+				done += ph.realSeconds
+			case known:
+				// Live phase: credit elapsed time, capped at its profile
+				// weight so a straggling phase cannot claim to be past done.
+				el := Since(ph.start).Seconds()
+				if el > w {
+					el = w
+				}
+				done += el
+			}
+		}
+		frac = done / prof.total
+	} else if plan, ok := p.plans[r.name]; ok && len(plan) > 0 {
+		done := 0.0
+		for _, ph := range r.phases {
+			if ph.done {
+				done++
+			} else {
+				done += 0.5
+			}
+		}
+		frac = done / float64(len(plan))
+	}
+	if frac <= 0 {
+		return -1
+	}
+	if frac > 0.99 {
+		frac = 0.99
+	}
+	return elapsed * (1 - frac) / frac
+}
+
+// Snapshot returns every live run (in start order) followed by the retained
+// completed runs (oldest first).
+func (p *Progress) Snapshot() []RunSnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]RunSnapshot, 0, len(p.order)+len(p.done))
+	for _, id := range p.order {
+		if r := p.runs[id]; r != nil {
+			out = append(out, p.snapshotLocked(r, true))
+		}
+	}
+	out = append(out, p.done...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Run returns the snapshot of one run (live or retained) by span ID.
+func (p *Progress) Run(id int64) (RunSnapshot, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if r := p.runs[SpanID(id)]; r != nil {
+		return p.snapshotLocked(r, true), true
+	}
+	for _, s := range p.done {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return RunSnapshot{}, false
+}

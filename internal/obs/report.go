@@ -22,6 +22,15 @@ type ReportCollector struct {
 	attempts int
 	faults   int
 	cancels  int
+	// taskReal distributes every task-attempt wall time (all job names, all
+	// attempts, shuffle included) for the summary quantiles.
+	taskReal *Histogram
+}
+
+// taskRealBounds covers the microsecond-to-minute range of local task
+// attempts; quantiles are bucket-interpolated, so resolution follows these.
+var taskRealBounds = []float64{
+	1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1, 3, 10, 30, 60,
 }
 
 // jobAgg accumulates all executions of one job name.
@@ -31,11 +40,20 @@ type jobAgg struct {
 	wasted   Counters
 	simS     float64
 	realS    float64
+	// taskReal distributes the wall time of this job's task attempts.
+	taskReal *Histogram
+}
+
+func newJobAgg() *jobAgg {
+	return &jobAgg{taskReal: newHistogram(taskRealBounds)}
 }
 
 // NewReportCollector returns an empty collector.
 func NewReportCollector() *ReportCollector {
-	return &ReportCollector{jobs: make(map[string]*jobAgg)}
+	return &ReportCollector{
+		jobs:     make(map[string]*jobAgg),
+		taskReal: newHistogram(taskRealBounds),
+	}
 }
 
 // Begin implements Tracer.
@@ -62,7 +80,7 @@ func (r *ReportCollector) End(e End) {
 	case KindJob:
 		agg := r.jobs[e.Name]
 		if agg == nil {
-			agg = &jobAgg{}
+			agg = newJobAgg()
 			r.jobs[e.Name] = agg
 			r.jobOrder = append(r.jobOrder, e.Name)
 		}
@@ -74,6 +92,14 @@ func (r *ReportCollector) End(e End) {
 	case KindTask:
 		if e.Phase != "shuffle" {
 			r.attempts++
+			r.taskReal.Observe(e.RealSeconds)
+			agg := r.jobs[e.Name]
+			if agg == nil {
+				agg = newJobAgg()
+				r.jobs[e.Name] = agg
+				r.jobOrder = append(r.jobOrder, e.Name)
+			}
+			agg.taskReal.Observe(e.RealSeconds)
 		}
 		if e.Outcome == OutcomeFault {
 			r.faults++
@@ -113,6 +139,12 @@ func (r *ReportCollector) WriteReport(w io.Writer) error {
 		total.counters.TaskRetries, wastedRecords(total.wasted), total.simS, total.realS); err != nil {
 		return err
 	}
+	if ts := r.taskReal.Snapshot(); ts.Count > 0 {
+		if _, err := fmt.Fprintf(w, "task wall time: p50 %s  p90 %s  p99 %s\n",
+			fmtQuantile(ts, 0.5), fmtQuantile(ts, 0.9), fmtQuantile(ts, 0.99)); err != nil {
+			return err
+		}
+	}
 
 	if len(r.phases) > 0 {
 		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
@@ -128,16 +160,34 @@ func (r *ReportCollector) WriteReport(w io.Writer) error {
 	}
 
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "\njob\truns\tmap in\tmap out\tred keys\tred vals\tout\tshuffled B\tretries\twasted rec\tsim s\treal s")
+	fmt.Fprintln(tw, "\njob\truns\tmap in\tmap out\tred keys\tred vals\tout\tshuffled B\tretries\twasted rec\tsim s\treal s\ttask p50/p90/p99")
 	for _, name := range r.jobOrder {
 		agg := r.jobs[name]
 		c := agg.counters
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.3f\t%.3f\n",
+		ts := agg.taskReal.Snapshot()
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.3f\t%.3f\t%s/%s/%s\n",
 			name, agg.runs, c.MapInputRecords, c.MapOutputRecords,
 			c.ReduceInputKeys, c.ReduceInputVals, c.OutputRecords, c.ShuffledBytes,
-			c.TaskRetries, wastedRecords(agg.wasted), agg.simS, agg.realS)
+			c.TaskRetries, wastedRecords(agg.wasted), agg.simS, agg.realS,
+			fmtQuantile(ts, 0.5), fmtQuantile(ts, 0.9), fmtQuantile(ts, 0.99))
 	}
 	return tw.Flush()
+}
+
+// fmtQuantile renders a bucket-interpolated duration quantile compactly
+// (microsecond precision below a second).
+func fmtQuantile(h HistogramSnapshot, q float64) string {
+	v := h.Quantile(q)
+	switch {
+	case h.Count == 0:
+		return "-"
+	case v < 1e-3:
+		return fmt.Sprintf("%.0fµs", v*1e6)
+	case v < 1:
+		return fmt.Sprintf("%.1fms", v*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", v)
+	}
 }
 
 // Jobs returns the number of distinct job names collected.
