@@ -8,7 +8,7 @@ GO ?= go
 
 .PHONY: ci vet lint lint-fix-check build test race bench bench-diff chaos trace ops trace-demo ops-demo trace-analyze
 
-ci: vet lint build test race chaos trace ops bench
+ci: vet lint build test race chaos trace ops bench bench-diff
 
 vet:
 	$(GO) vet ./...
@@ -53,15 +53,21 @@ ops:
 	$(GO) test -race -run 'Ops|Flight|Progress|Prometheus|Analyze' ./...
 
 # Benchmarks with a machine-readable summary: benchjson tees the raw
-# output through and writes BENCH_PR5.json for cross-PR baseline diffs.
+# output through and writes BENCH_PR6.json for cross-PR baseline diffs.
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x -benchmem ./internal/mr/ \
-		| $(GO) run ./cmd/benchjson -o BENCH_PR5.json
+		| $(GO) run ./cmd/benchjson -o BENCH_PR6.json
 
 # Compare this PR's benchmark baseline against the previous PR's; exits
-# nonzero on a regression beyond the thresholds (see cmd/benchjson -diff).
+# nonzero on a regression beyond the (deliberately loose, -benchtime 1x is
+# noisy) thresholds, or when the typed-plane improvement gates fail: the
+# shuffle-bound shapes must hold a ≥3x allocs/op win and ShuffleHeavy and
+# WideKey must stay faster than the boxed PR 5 engine.
 bench-diff:
-	$(GO) run ./cmd/benchjson -diff BENCH_PR4.json BENCH_PR5.json
+	$(GO) run ./cmd/benchjson -diff -threshold 0.75 -alloc-threshold 0.25 \
+		-min-alloc-ratio 3 -ratio BenchmarkShuffleHeavy,BenchmarkCombinerOn,BenchmarkWideKey \
+		-faster BenchmarkShuffleHeavy,BenchmarkWideKey \
+		BENCH_PR5.json BENCH_PR6.json
 
 # End-to-end trace demo: generate a small data set, cluster it with
 # tracing, the per-job report, and the cost model enabled, then show the

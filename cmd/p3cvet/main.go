@@ -1,8 +1,10 @@
 // Command p3cvet runs the project's contract-enforcing static analyzers
 // over the module: detclock (wall clock is observability-only), detrand
-// (randomness is seeded per identity), maporder (no output in map iteration
-// order), reducermut (reducers treat shuffled values as read-only), and
-// tracenil (Tracer/Metrics calls are nil-guarded). Findings print as
+// (randomness is seeded per identity), hotpath (no scalar any-boxing or
+// per-emit fmt.Sprintf keys on the data plane), maporder (no output in map
+// iteration order), reducermut (reducers treat shuffled values as
+// read-only), and tracenil (Tracer/Metrics calls are nil-guarded). Findings
+// print as
 //
 //	file:line: [analyzer] message
 //

@@ -130,6 +130,41 @@ func TestChaosFullPipeline(t *testing.T) {
 	}
 }
 
+// TestChaosPoisonedPoolsPipeline runs the Light pipeline with pool
+// poisoning enabled under a mixed fault plan: every map/shuffle/reduce
+// buffer the engine recycles is overwritten with sentinel garbage at return
+// time, so a task attempt that reads a buffer it no longer owns — the bug
+// class pooling introduces — corrupts labels, cores, or signatures visibly
+// instead of passing on conveniently-zeroed memory. Bit-identity against
+// the clean un-poisoned baseline at parallelism {1,8} is the oracle.
+func TestChaosPoisonedPoolsPipeline(t *testing.T) {
+	data, _ := genData(t, 2000, 12, 3, 0.1, 77)
+	params := LightParams()
+	params.NumSplits = 10
+
+	clean, err := Run(mr.NewEngine(mr.Config{Parallelism: 4, NumReducers: 3}), data, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := mr.RateFaultPlan{MapRate: 0.25, CombineRate: 0.25, ReduceRate: 0.3,
+		StragglerRate: 0.2, StragglerSeconds: 3, Seed: 211}
+	var retries int64
+	for _, par := range []int{1, 8} {
+		name := fmt.Sprintf("poisoned/par=%d", par)
+		engine := mr.NewEngine(mr.Config{Parallelism: par, NumReducers: 3,
+			Faults: plan, MaxAttempts: 12, DebugPoisonPools: true})
+		faulty, err := Run(engine, data, params)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		assertChaosRun(t, name, clean, faulty)
+		retries += faulty.Stats.Counters.TaskRetries
+	}
+	if retries == 0 {
+		t.Fatal("poisoned-pool sweep injected no retries — harness exercised nothing")
+	}
+}
+
 // TestChaosChargesSimulatedTime: under a cost model, a faulty pipeline run
 // must model strictly more cluster time than the fault-free run (retries and
 // stragglers burn slots) while producing the same Jobs count and counters.

@@ -78,10 +78,10 @@ func estimateCoreModel(engine *mr.Engine, splits []*mr.Split, rssc *signature.RS
 		NewMapper: func() mr.Mapper {
 			return &coreMomentMapper{attrs: attrs, fallback: fallback, k: k}
 		},
-		Reducer: mr.ReducerFunc(func(ctx *mr.TaskContext, key string, values []any) error {
+		TypedReducer: mr.TypedReducerFunc(func(ctx *mr.TaskContext, key string, values mr.Values) error {
 			agg := sumStat{Sum: make([]float64, d)}
-			for _, v := range values {
-				st := v.([2]any)
+			for i := 0; i < values.Len(); i++ {
+				st := values.Value(i).([2]any)
 				agg.Count += st[1].(int64)
 				for j, x := range st[0].([]float64) {
 					agg.Sum[j] += x
@@ -121,10 +121,10 @@ func estimateCoreModel(engine *mr.Engine, splits []*mr.Split, rssc *signature.RS
 		NewMapper: func() mr.Mapper {
 			return &coreScatterMapper{attrs: attrs, fallback: fallback, k: k, means: means}
 		},
-		Reducer: mr.ReducerFunc(func(ctx *mr.TaskContext, key string, values []any) error {
+		TypedReducer: mr.TypedReducerFunc(func(ctx *mr.TaskContext, key string, values mr.Values) error {
 			var agg []float64
-			for _, v := range values {
-				s := v.([]float64)
+			for i := 0; i < values.Len(); i++ {
+				s := values.Value(i).([]float64)
 				if agg == nil {
 					agg = make([]float64, len(s))
 				}
@@ -187,6 +187,7 @@ type coreMomentMapper struct {
 	rssc   *signature.RSSC
 	sums   [][]float64
 	counts []int64
+	keys   []string
 	mask   []uint64
 	proj   []float64
 	sc1    []float64
@@ -202,6 +203,7 @@ func (m *coreMomentMapper) Setup(ctx *mr.TaskContext) error {
 		m.sums[i] = make([]float64, d)
 	}
 	m.counts = make([]int64, m.k)
+	m.keys = mr.IntKeys("c", m.k)
 	m.proj = make([]float64, d)
 	m.sc1 = make([]float64, d)
 	m.sc2 = make([]float64, d)
@@ -252,7 +254,7 @@ func (m *coreMomentMapper) Map(ctx *mr.TaskContext, global int, row []float64) e
 func (m *coreMomentMapper) Cleanup(ctx *mr.TaskContext) error {
 	for c := 0; c < m.k; c++ {
 		if m.counts[c] > 0 {
-			ctx.Emit(fmt.Sprintf("c%d", c), [2]any{m.sums[c], m.counts[c]})
+			ctx.Emit(m.keys[c], [2]any{m.sums[c], m.counts[c]})
 		}
 	}
 	return nil
@@ -309,7 +311,7 @@ func (m *coreScatterMapper) Map(ctx *mr.TaskContext, global int, row []float64) 
 
 func (m *coreScatterMapper) Cleanup(ctx *mr.TaskContext) error {
 	for c := 0; c < m.k; c++ {
-		ctx.Emit(fmt.Sprintf("c%d", c), m.scatters[c])
+		ctx.Emit(m.inner.keys[c], m.scatters[c])
 	}
 	return nil
 }

@@ -24,15 +24,15 @@ func clusterHistograms(engine *mr.Engine, splits []*mr.Split, membership []int, 
 		NewMapper: func() mr.Mapper {
 			return &aiHistMapper{k: k, dim: dim}
 		},
-		Reducer: mr.ReducerFunc(func(ctx *mr.TaskContext, key string, values []any) error {
+		TypedReducer: mr.TypedReducerFunc(func(ctx *mr.TaskContext, key string, values mr.Values) error {
 			var agg []int64
-			for _, v := range values {
-				counts := v.([]int64)
+			for i := 0; i < values.Len(); i++ {
+				counts := values.Value(i).([]int64)
 				if agg == nil {
 					agg = make([]int64, len(counts))
 				}
-				for i, c := range counts {
-					agg[i] += c
+				for j, c := range counts {
+					agg[j] += c
 				}
 			}
 			ctx.Emit(key, agg)
@@ -67,12 +67,17 @@ type aiHistMapper struct {
 	membership []int
 	bins       []int
 	counts     [][][]int64 // [cluster][dim][bin]
+	keys       [][]string  // [cluster][dim] emission keys
 }
 
 func (m *aiHistMapper) Setup(ctx *mr.TaskContext) error {
 	m.membership = ctx.MustCache("membership").([]int)
 	m.bins = ctx.MustCache("bins").([]int)
 	m.counts = make([][][]int64, m.k)
+	m.keys = make([][]string, m.k)
+	for c := range m.keys {
+		m.keys[c] = mr.IntKeys(fmt.Sprintf("ai%d_", c), m.dim)
+	}
 	return nil
 }
 
@@ -99,7 +104,7 @@ func (m *aiHistMapper) Cleanup(ctx *mr.TaskContext) error {
 			continue
 		}
 		for d := range m.counts[c] {
-			ctx.Emit(fmt.Sprintf("ai%d_%d", c, d), m.counts[c][d])
+			ctx.Emit(m.keys[c][d], m.counts[c][d])
 		}
 	}
 	return nil

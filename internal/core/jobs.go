@@ -21,8 +21,8 @@ func histogramJob(engine *mr.Engine, splits []*mr.Split, dim, bins int, trace ob
 		NewMapper: func() mr.Mapper {
 			return &histMapper{dim: dim, bins: bins}
 		},
-		Reducer:     sumVectorsReducer(),
-		TraceParent: trace,
+		TypedReducer: sumVectorsReducer(),
+		TraceParent:  trace,
 	}
 	out, err := engine.Run(job)
 	if err != nil {
@@ -48,6 +48,7 @@ func histogramJob(engine *mr.Engine, splits []*mr.Split, dim, bins int, trace ob
 type histMapper struct {
 	dim, bins int
 	counts    [][]int64
+	keys      []string
 }
 
 func (m *histMapper) Setup(*mr.TaskContext) error {
@@ -55,6 +56,7 @@ func (m *histMapper) Setup(*mr.TaskContext) error {
 	for d := range m.counts {
 		m.counts[d] = make([]int64, m.bins)
 	}
+	m.keys = mr.IntKeys("h", m.dim)
 	return nil
 }
 
@@ -67,7 +69,7 @@ func (m *histMapper) Map(ctx *mr.TaskContext, global int, row []float64) error {
 
 func (m *histMapper) Cleanup(ctx *mr.TaskContext) error {
 	for d, counts := range m.counts {
-		ctx.Emit(fmt.Sprintf("h%d", d), counts)
+		ctx.Emit(m.keys[d], counts)
 	}
 	return nil
 }
@@ -79,14 +81,14 @@ func (m *histMapper) Cleanup(ctx *mr.TaskContext) error {
 // Reducer contract demands read-only values). Shared by the histogram,
 // support-counting and redundancy-filter jobs, whose reduce sides are
 // identical merges (Eq. 8).
-func sumVectorsReducer() mr.Reducer {
-	return mr.ReducerFunc(func(ctx *mr.TaskContext, key string, values []any) error {
-		first := values[0].([]int64)
+func sumVectorsReducer() mr.TypedReducer {
+	return mr.TypedReducerFunc(func(ctx *mr.TaskContext, key string, values mr.Values) error {
+		first := values.Value(0).([]int64)
 		agg := make([]int64, len(first))
 		copy(agg, first)
-		for _, v := range values[1:] {
-			for i, c := range v.([]int64) {
-				agg[i] += c
+		for i := 1; i < values.Len(); i++ {
+			for j, c := range values.Value(i).([]int64) {
+				agg[j] += c
 			}
 		}
 		ctx.Emit(key, agg)
@@ -111,8 +113,8 @@ func countSupports(engine *mr.Engine, splits []*mr.Split, sigs []signature.Signa
 		NewMapper: func() mr.Mapper {
 			return &supportMapper{}
 		},
-		Reducer:     sumVectorsReducer(),
-		TraceParent: trace,
+		TypedReducer: sumVectorsReducer(),
+		TraceParent:  trace,
 	}
 	out, err := engine.Run(job)
 	if err != nil {
@@ -240,8 +242,8 @@ func uncoveredCounts(engine *mr.Engine, splits []*mr.Split, sigs []signature.Sig
 		NewMapper: func() mr.Mapper {
 			return &uncoveredMapper{}
 		},
-		Reducer:     sumVectorsReducer(),
-		TraceParent: trace,
+		TypedReducer: sumVectorsReducer(),
+		TraceParent:  trace,
 	}
 	out, err := engine.Run(job)
 	if err != nil {
@@ -295,10 +297,10 @@ func tighteningJob(engine *mr.Engine, splits []*mr.Split, membership []int, attr
 		NewMapper: func() mr.Mapper {
 			return &tightenMapper{}
 		},
-		Reducer: mr.ReducerFunc(func(ctx *mr.TaskContext, key string, values []any) error {
-			agg := values[0].([2]float64)
-			for _, v := range values[1:] {
-				mm := v.([2]float64)
+		TypedReducer: mr.TypedReducerFunc(func(ctx *mr.TaskContext, key string, values mr.Values) error {
+			agg := values.Value(0).([2]float64)
+			for i := 1; i < values.Len(); i++ {
+				mm := values.Value(i).([2]float64)
 				if mm[0] < agg[0] {
 					agg[0] = mm[0]
 				}

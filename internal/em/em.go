@@ -237,10 +237,10 @@ func emIteration(engine *mr.Engine, splits []*mr.Split, model *Model, it int, tr
 		NewMapper: func() mr.Mapper {
 			return &momentsMapper{model: model}
 		},
-		Reducer: mr.ReducerFunc(func(ctx *mr.TaskContext, key string, values []any) error {
+		TypedReducer: mr.TypedReducerFunc(func(ctx *mr.TaskContext, key string, values mr.Values) error {
 			agg := momentStat{L: make([]float64, d)}
-			for _, v := range values {
-				st := v.(momentStat)
+			for i := 0; i < values.Len(); i++ {
+				st := values.Value(i).(momentStat)
 				agg.W += st.W
 				agg.W2 += st.W2
 				agg.LL += st.LL
@@ -291,10 +291,10 @@ func emIteration(engine *mr.Engine, splits []*mr.Split, model *Model, it int, tr
 		NewMapper: func() mr.Mapper {
 			return &covMapper{model: model, means: newMeans}
 		},
-		Reducer: mr.ReducerFunc(func(ctx *mr.TaskContext, key string, values []any) error {
+		TypedReducer: mr.TypedReducerFunc(func(ctx *mr.TaskContext, key string, values mr.Values) error {
 			agg := covStat{S: make([]float64, d*d)}
-			for _, v := range values {
-				st := v.(covStat)
+			for i := 0; i < values.Len(); i++ {
+				st := values.Value(i).(covStat)
 				for j := range agg.S {
 					agg.S[j] += st.S[j]
 				}
@@ -341,6 +341,7 @@ func emIteration(engine *mr.Engine, splits []*mr.Split, model *Model, it int, tr
 type momentsMapper struct {
 	model *Model
 	stats []momentStat
+	keys  []string
 	resp  []float64
 	proj  []float64
 	sc1   []float64
@@ -354,6 +355,7 @@ func (m *momentsMapper) Setup(*mr.TaskContext) error {
 	for i := range m.stats {
 		m.stats[i].L = make([]float64, d)
 	}
+	m.keys = mr.IntKeys("c", k)
 	m.resp = make([]float64, k)
 	m.proj = make([]float64, d)
 	m.sc1 = make([]float64, d)
@@ -378,7 +380,7 @@ func (m *momentsMapper) Map(ctx *mr.TaskContext, global int, row []float64) erro
 
 func (m *momentsMapper) Cleanup(ctx *mr.TaskContext) error {
 	for i, st := range m.stats {
-		ctx.Emit(fmt.Sprintf("c%d", i), st)
+		ctx.Emit(m.keys[i], st)
 	}
 	return nil
 }
@@ -388,6 +390,7 @@ type covMapper struct {
 	model    *Model
 	means    [][]float64
 	scatters []covStat
+	keys     []string
 	resp     []float64
 	proj     []float64
 	sc1      []float64
@@ -401,6 +404,7 @@ func (m *covMapper) Setup(*mr.TaskContext) error {
 	for i := range m.scatters {
 		m.scatters[i].S = make([]float64, d*d)
 	}
+	m.keys = mr.IntKeys("c", k)
 	m.resp = make([]float64, k)
 	m.proj = make([]float64, d)
 	m.sc1 = make([]float64, d)
@@ -434,7 +438,7 @@ func (m *covMapper) Map(ctx *mr.TaskContext, global int, row []float64) error {
 
 func (m *covMapper) Cleanup(ctx *mr.TaskContext) error {
 	for i, st := range m.scatters {
-		ctx.Emit(fmt.Sprintf("c%d", i), st)
+		ctx.Emit(m.keys[i], st)
 	}
 	return nil
 }

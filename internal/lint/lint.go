@@ -10,6 +10,9 @@
 //     reads are observability-only and live behind obs.Now/obs.Since.
 //   - detrand:    no global math/rand state — randomness is seeded per
 //     identity tuple (the FaultPlan.Decide discipline).
+//   - hotpath:    no scalar any-boxing or fmt.Sprintf key construction at
+//     emit sites — scalars ride the typed lanes (EmitF64/EmitI64/EmitInt)
+//     and keys come from precomputed tables (mr.IntKeys).
 //   - maporder:   no emitting/accumulating output from a `range` over a map
 //     without an intervening sort (Go randomizes map iteration order).
 //   - reducermut: reducer/combiner bodies must not write through, or leak
@@ -228,7 +231,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{DetClock, DetRand, MapOrder, ReducerMut, TraceNil}
+	return []*Analyzer{DetClock, DetRand, HotPath, MapOrder, ReducerMut, TraceNil}
 }
 
 // ByName resolves a comma-separated analyzer list ("detclock,maporder").

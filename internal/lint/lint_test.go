@@ -94,6 +94,10 @@ func TestDetRandCorpus(t *testing.T) {
 	runCorpus(t, []*Analyzer{DetRand}, "testdata/src/detrand")
 }
 
+func TestHotPathCorpus(t *testing.T) {
+	runCorpus(t, []*Analyzer{HotPath}, "testdata/src/hotpath")
+}
+
 func TestMapOrderCorpus(t *testing.T) {
 	runCorpus(t, []*Analyzer{MapOrder}, "testdata/src/maporder")
 }

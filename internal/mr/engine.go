@@ -48,6 +48,13 @@ type Config struct {
 	// mr_job_real_seconds histogram. Handles are resolved once in NewEngine,
 	// so the per-job cost is a handful of atomic adds.
 	Metrics *obs.Registry
+	// DebugPoisonPools overwrites the engine's pooled shuffle buffers with
+	// garbage markers as they are recycled. A buffer recycled while a stale
+	// reference can still observe it then yields obviously-corrupt records
+	// instead of stale-but-plausible ones, which the bit-identity chaos
+	// oracles detect — the canary proving the pool lifecycle barriers (see
+	// enginePools). Test/debug knob; leave off otherwise.
+	DebugPoisonPools bool
 }
 
 // engineMetrics caches the registry handles the engine updates at the end
@@ -84,6 +91,8 @@ type Engine struct {
 	sem chan struct{}
 	// met caches metric handles when Config.Metrics is set.
 	met *engineMetrics
+	// pools recycles typed-plane shuffle buffers across jobs and tasks.
+	pools *enginePools
 	// TotalSimulated accumulates simulated seconds across all jobs run on
 	// this engine, so a pipeline can report an end-to-end modeled runtime.
 	mu             sync.Mutex
@@ -116,7 +125,7 @@ func NewEngine(cfg Config) *Engine {
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = 4
 	}
-	e := &Engine{cfg: cfg, sem: make(chan struct{}, cfg.Parallelism)}
+	e := &Engine{cfg: cfg, sem: make(chan struct{}, cfg.Parallelism), pools: newEnginePools(cfg.DebugPoisonPools)}
 	if cfg.Metrics != nil {
 		e.met = newEngineMetrics(cfg.Metrics)
 	}
@@ -222,11 +231,17 @@ func (e *Engine) Run(job *Job) (*Output, error) {
 	if job.Mapper == nil && job.NewMapper == nil {
 		return nil, fmt.Errorf("mr: job %q has no mapper", job.Name)
 	}
+	if job.Reducer != nil && job.TypedReducer != nil {
+		return nil, fmt.Errorf("mr: job %q sets both Reducer and TypedReducer", job.Name)
+	}
+	if job.Combiner != nil && job.TypedCombiner != nil {
+		return nil, fmt.Errorf("mr: job %q sets both Combiner and TypedCombiner", job.Name)
+	}
 	numReducers := job.NumReducers
 	if numReducers <= 0 {
 		numReducers = e.cfg.NumReducers
 	}
-	mapOnly := job.Reducer == nil
+	mapOnly := job.Reducer == nil && job.TypedReducer == nil
 	nb := numReducers
 	if mapOnly {
 		nb = 1
@@ -267,11 +282,12 @@ func (e *Engine) Run(job *Job) (*Output, error) {
 	}
 
 	// --- Map phase -----------------------------------------------------------
-	// Lock-free collection: every map task owns one slot of mapOuts /
+	// Lock-free collection: every map task owns one slot of mapStates /
 	// mapCounters (single writer per slot, synchronized by wg.Wait's
 	// happens-before edge), so the shuffle needs no global mutex. Task i's
-	// slot holds its output pre-partitioned into per-reducer buffers.
-	mapOuts := make([][][]Pair, len(job.Splits))
+	// slot holds its typed output pre-partitioned into per-reducer buffers
+	// plus the task-local key table (see plane.go).
+	mapStates := make([]*mapState, len(job.Splits))
 	mapCounters := make([]Counters, len(job.Splits))
 	mapFaults := make([]faultCharge, len(job.Splits))
 	var wg sync.WaitGroup
@@ -287,7 +303,7 @@ mapLaunch:
 		go func(i int, split *Split) {
 			defer wg.Done()
 			defer func() { <-e.sem }()
-			out, c, fc, err := e.runMapTask(job, split, mapOnly, numReducers, jobSpan, cancelCh)
+			st, c, fc, err := e.runMapTask(job, split, mapOnly, nb, numReducers, jobSpan, cancelCh)
 			mapFaults[i] = fc
 			if err != nil {
 				if !errors.Is(err, errTaskCancelled) {
@@ -295,12 +311,16 @@ mapLaunch:
 				}
 				return
 			}
-			mapOuts[i] = out
+			mapStates[i] = st
 			mapCounters[i] = c
 		}(i, split)
 	}
 	wg.Wait()
 	if firstErr != nil {
+		// Committed states of sibling tasks were never merged; recycle them.
+		for _, st := range mapStates {
+			e.pools.putMapState(st)
+		}
 		endJobErr(firstErr)
 		return nil, firstErr
 	}
@@ -312,62 +332,73 @@ mapLaunch:
 		fault.add(mapFaults[i])
 	}
 
-	// The shuffle/merge step gets its own span (Task -1, Phase "shuffle")
-	// carrying the job's shuffle volume — mirroring the per-phase breakdown
-	// a Hadoop job page shows.
-	var shufSpan obs.SpanID
-	var shufStart time.Time
-	if tr != nil && !mapOnly {
-		shufSpan = obs.NewSpanID()
-		tr.Begin(obs.Start{ID: shufSpan, Parent: jobSpan, Kind: obs.KindTask,
-			Name: job.Name, Task: -1, Phase: "shuffle"})
-		shufStart = obs.Now()
-	}
-
-	// Merge the per-task buffers into one contiguous run per reducer, in
-	// split order: value order within a key is therefore a deterministic
-	// function of the split layout, independent of Parallelism and of task
-	// completion order.
-	buckets := make([][]Pair, nb)
-	for r := 0; r < nb; r++ {
-		total := 0
-		for i := range mapOuts {
-			total += len(mapOuts[i][r])
-		}
-		if total == 0 {
-			continue
-		}
-		merged := make([]Pair, 0, total)
-		for i := range mapOuts {
-			merged = append(merged, mapOuts[i][r]...)
-		}
-		buckets[r] = merged
-	}
-	if tr != nil && !mapOnly {
-		tr.End(obs.End{ID: shufSpan, Kind: obs.KindTask, Name: job.Name,
-			Task: -1, Phase: "shuffle", Outcome: obs.OutcomeOK,
-			RealSeconds: obs.Since(shufStart).Seconds(),
-			Counters:    Counters{ShuffledBytes: counters.ShuffledBytes}})
-	}
-
 	var outPairs []Pair
 	if mapOnly {
-		outPairs = buckets[0]
+		// Map-only jobs materialize the boxed output straight from the task
+		// buffers (bucket 0 holds every record), in split order.
+		total := 0
+		for _, st := range mapStates {
+			total += len(st.buckets[0])
+		}
+		outPairs = make([]Pair, 0, total)
+		for _, st := range mapStates {
+			for i := range st.buckets[0] {
+				rc := &st.buckets[0][i]
+				outPairs = append(outPairs, Pair{Key: st.tab.keys[rc.key], Value: rc.value()})
+			}
+		}
+		// Pairs hold their own boxed values and (immutable) key strings, so
+		// the states can recycle immediately.
+		for _, st := range mapStates {
+			e.pools.putMapState(st)
+		}
 		counters.OutputRecords = int64(len(outPairs))
 	} else {
+		// The shuffle/merge step gets its own span (Task -1, Phase "shuffle")
+		// carrying the job's shuffle volume — mirroring the per-phase
+		// breakdown a Hadoop job page shows.
+		var shufSpan obs.SpanID
+		var shufStart time.Time
+		if tr != nil {
+			shufSpan = obs.NewSpanID()
+			tr.Begin(obs.Start{ID: shufSpan, Parent: jobSpan, Kind: obs.KindTask,
+				Name: job.Name, Task: -1, Phase: "shuffle"})
+			shufStart = obs.Now()
+		}
+
+		// Merge the per-task buffers into one contiguous run per reducer, in
+		// split order: value order within a key is therefore a deterministic
+		// function of the split layout, independent of Parallelism and of
+		// task completion order. mergeShuffle also renumbers record keys into
+		// dense partition-local ids in ascending key order, which is what
+		// lets the reduce side group without touching key strings.
+		sh := e.pools.getShuffle()
+		mergeShuffle(sh, mapStates, nb, numReducers)
+		// The merge copied every record out of the task states; recycle them
+		// before reduce tasks start (the barrier the pool contract names).
+		for _, st := range mapStates {
+			e.pools.putMapState(st)
+		}
+		if tr != nil {
+			tr.End(obs.End{ID: shufSpan, Kind: obs.KindTask, Name: job.Name,
+				Task: -1, Phase: "shuffle", Outcome: obs.OutcomeOK,
+				RealSeconds: obs.Since(shufStart).Seconds(),
+				Counters:    Counters{ShuffledBytes: counters.ShuffledBytes}})
+		}
+
 		// --- Shuffle + reduce phase ------------------------------------------
 		// Same single-writer-per-slot scheme: reducer r writes redOuts[r],
 		// and the final concatenation in reducer order keeps job output
 		// deterministic without a collection mutex. Reduce tasks share the
 		// map tasks' retry budget and cancellation channel: a reduce attempt
-		// re-runs from its immutable shuffled bucket (see Reducer contract).
+		// re-runs from its immutable partition run (see Reducer contract).
 		redOuts := make([][]Pair, numReducers)
 		redCounters := make([]Counters, numReducers)
 		redFaults := make([]faultCharge, numReducers)
 		var rwg sync.WaitGroup
 	redLaunch:
 		for r := 0; r < numReducers; r++ {
-			if len(buckets[r]) == 0 {
+			if len(sh.runs[r]) == 0 {
 				continue
 			}
 			select {
@@ -376,10 +407,10 @@ mapLaunch:
 			case e.sem <- struct{}{}:
 			}
 			rwg.Add(1)
-			go func(r int, pairs []Pair) {
+			go func(r int, run []rec, keys []string) {
 				defer rwg.Done()
 				defer func() { <-e.sem }()
-				pout, c, fc, err := e.runReduceTask(job, r, pairs, jobSpan, cancelCh)
+				pout, c, fc, err := e.runReduceTask(job, r, run, keys, jobSpan, cancelCh)
 				redFaults[r] = fc
 				if err != nil {
 					if !errors.Is(err, errTaskCancelled) {
@@ -389,9 +420,14 @@ mapLaunch:
 				}
 				redOuts[r] = pout
 				redCounters[r] = c
-			}(r, buckets[r])
+			}(r, sh.runs[r], sh.runKeys[r])
 		}
 		rwg.Wait()
+		// All reduce tasks (and their retries, which re-read the immutable
+		// runs) are finished: the shuffle state can recycle. Reducer output
+		// pairs box their values and reference immutable key strings, so
+		// nothing they hold aliases the recycled buffers.
+		e.pools.putShuffle(sh)
 		if firstErr != nil {
 			endJobErr(firstErr)
 			return nil, firstErr
@@ -549,20 +585,34 @@ func runTaskAttempts[T any](e *Engine, job *Job, phase TaskPhase, taskID int, pa
 	return zero, Counters{}, fc, fmt.Errorf("task failed after %d attempts: %w", e.cfg.MaxAttempts, lastErr)
 }
 
-// runMapTask executes one map task with retry on injected failures.
-func (e *Engine) runMapTask(job *Job, split *Split, mapOnly bool, numReducers int, jobSpan obs.SpanID, cancel <-chan struct{}) ([][]Pair, Counters, faultCharge, error) {
-	return runTaskAttempts(e, job, PhaseMap, split.ID, jobSpan, cancel, func(attempt int, span obs.SpanID) ([][]Pair, Counters, float64, error) {
-		return e.tryMapTask(job, split, mapOnly, numReducers, attempt, span, cancel)
+// runMapTask executes one map task with retry on injected failures. The
+// task's pooled mapState is acquired once for the whole attempt loop —
+// retried attempts reset and reuse it (never returning it to the pool while
+// the task lives) — and recycled here on failure/cancellation, when no one
+// outside the task has ever observed it. On success the state transfers to
+// the caller, which recycles it after the merge copies its records out.
+func (e *Engine) runMapTask(job *Job, split *Split, mapOnly bool, nb, numReducers int, jobSpan obs.SpanID, cancel <-chan struct{}) (*mapState, Counters, faultCharge, error) {
+	st := e.pools.getMapState(nb)
+	out, c, fc, err := runTaskAttempts(e, job, PhaseMap, split.ID, jobSpan, cancel, func(attempt int, span obs.SpanID) (*mapState, Counters, float64, error) {
+		ac, straggler, err := e.tryMapTask(job, split, st, mapOnly, nb, attempt, span, cancel)
+		return st, ac, straggler, err
 	})
+	if err != nil {
+		e.pools.putMapState(st)
+		return nil, c, fc, err
+	}
+	return out, c, fc, nil
 }
 
-func (e *Engine) tryMapTask(job *Job, split *Split, mapOnly bool, numReducers, attempt int, span obs.SpanID, cancel <-chan struct{}) ([][]Pair, Counters, float64, error) {
+// tryMapTask runs one map attempt into st: records land pre-partitioned in
+// st.buckets with task-locally interned keys (see TaskContext.emitRec), and
+// the optional combiner folds each bucket in place before the attempt
+// commits.
+func (e *Engine) tryMapTask(job *Job, split *Split, st *mapState, mapOnly bool, nb, attempt int, span obs.SpanID, cancel <-chan struct{}) (Counters, float64, error) {
 	var c Counters
-	nb := numReducers
-	if mapOnly {
-		nb = 1
-	}
-	out := make([][]Pair, nb)
+	// A retried attempt starts from an empty state; attempt 0's state came
+	// reset from the pool, so this only walks empty buffers.
+	st.reset(false)
 	var straggler float64
 	failAt := -1
 	if e.cfg.Faults != nil {
@@ -581,29 +631,22 @@ func (e *Engine) tryMapTask(job *Job, split *Split, mapOnly bool, numReducers, a
 	if job.NewMapper != nil {
 		mapper = job.NewMapper()
 	}
-	// Shuffle accounting is folded into emit so pairs are traversed once;
+	// Shuffle accounting is folded into emit so records are traversed once;
 	// with a combiner the charge moves to combineBucket instead, because
-	// only post-combine pairs cross the (modeled) network.
-	chargeOnEmit := mapOnly || job.Combiner == nil
+	// only post-combine records cross the (modeled) network.
+	hasCombiner := job.Combiner != nil || job.TypedCombiner != nil
 	ctx := &TaskContext{
-		JobName: job.Name,
-		TaskID:  split.ID,
-		Split:   split,
-		cache:   job.Cache,
-		emit: func(p Pair) {
-			c.MapOutputRecords++
-			if chargeOnEmit {
-				c.ShuffledBytes += int64(len(p.Key)) + approxValueBytes(p.Value)
-			}
-			r := 0
-			if !mapOnly {
-				r = partition(p.Key, numReducers)
-			}
-			out[r] = append(out[r], p)
-		},
+		JobName:      job.Name,
+		TaskID:       split.ID,
+		Split:        split,
+		cache:        job.Cache,
+		ms:           st,
+		counters:     &c,
+		numReducers:  nb,
+		chargeOnEmit: mapOnly || !hasCombiner,
 	}
 	if err := mapper.Setup(ctx); err != nil {
-		return nil, c, straggler, err
+		return c, straggler, err
 	}
 	n := split.NumRows()
 	for i := 0; i < n; i++ {
@@ -611,30 +654,30 @@ func (e *Engine) tryMapTask(job *Job, split *Split, mapOnly bool, numReducers, a
 			if e.cfg.Tracer != nil {
 				e.point(span, obs.PointFault, job.Name, split.ID, attempt, PhaseMap, 0)
 			}
-			return nil, c, straggler, errInjectedFailure
+			return c, straggler, errInjectedFailure
 		}
 		// Sampled cancellation poll: cheap enough to leave the record loop's
 		// throughput alone, frequent enough that a cancelled task yields its
 		// slot within a few dozen records.
 		if i&63 == 0 && cancelled(cancel) {
-			return nil, c, straggler, errTaskCancelled
+			return c, straggler, errTaskCancelled
 		}
 		c.MapInputRecords++
 		if err := mapper.Map(ctx, split.Offset+i, split.Row(i)); err != nil {
-			return nil, c, straggler, err
+			return c, straggler, err
 		}
 	}
 	if n == failAt {
 		if e.cfg.Tracer != nil {
 			e.point(span, obs.PointFault, job.Name, split.ID, attempt, PhaseMap, 0)
 		}
-		return nil, c, straggler, errInjectedFailure
+		return c, straggler, errInjectedFailure
 	}
 	if err := mapper.Cleanup(ctx); err != nil {
-		return nil, c, straggler, err
+		return c, straggler, err
 	}
 
-	if job.Combiner != nil && !mapOnly {
+	if hasCombiner && !mapOnly {
 		if e.cfg.Faults != nil {
 			d := e.cfg.Faults.Decide(job.Name, PhaseCombine, split.ID, attempt)
 			straggler += d.StragglerSeconds
@@ -645,67 +688,95 @@ func (e *Engine) tryMapTask(job *Job, split *Split, mapOnly bool, numReducers, a
 				if e.cfg.Tracer != nil {
 					e.point(span, obs.PointFault, job.Name, split.ID, attempt, PhaseCombine, 0)
 				}
-				return nil, c, straggler, errInjectedFailure
+				return c, straggler, errInjectedFailure
 			}
 		}
-		for r := range out {
-			combined, err := combineBucket(job.Combiner, out[r], &c)
-			if err != nil {
-				return nil, c, straggler, err
+		for r := range st.buckets {
+			if err := combineBucket(job, st, r, &c); err != nil {
+				return c, straggler, err
 			}
-			out[r] = combined
 		}
 	}
-	return out, c, straggler, nil
+	return c, straggler, nil
 }
 
-// combineBucket folds one reducer-bound buffer through the combiner via
-// the stable counting group — no map[string][]any staging. It also charges
-// ShuffledBytes for the surviving pairs (the combiner's whole point is that
-// only its output crosses the network).
-func combineBucket(cb Combiner, pairs []Pair, c *Counters) ([]Pair, error) {
-	if len(pairs) == 0 {
-		return pairs, nil
-	}
-	c.CombineInput += int64(len(pairs))
-	out := make([]Pair, 0, len(pairs))
-	err := groupSorted(pairs, func(k string, values []any) error {
-		vs, err := cb.Combine(k, values)
-		if err != nil {
-			return err
-		}
-		for _, v := range vs {
-			out = append(out, Pair{Key: k, Value: v})
-			c.CombineOutput++
-			c.ShuffledBytes += int64(len(k)) + approxValueBytes(v)
-		}
+// combineBucket folds one reducer-bound buffer through the combiner via the
+// counting group over task-local key ids — no map[string][]any staging and,
+// on the typed path, no boxing. It charges ShuffledBytes for the surviving
+// records (the combiner's whole point is that only its output crosses the
+// network), then swaps the combined output in as the new bucket, recycling
+// the old bucket's storage as the next bucket's output buffer.
+func combineBucket(job *Job, st *mapState, r int, c *Counters) error {
+	bucket := st.buckets[r]
+	if len(bucket) == 0 {
 		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	return out, nil
+	c.CombineInput += int64(len(bucket))
+	out := st.combineOut[:0]
+	var err error
+	if job.TypedCombiner != nil {
+		ce := CombineEmit{out: &out, c: c}
+		err = groupLocal(bucket, &st.tab, &st.sc, func(id uint32, grouped []rec) error {
+			ce.key = id
+			ce.keyLen = int64(len(st.tab.keys[id]))
+			return job.TypedCombiner.CombineTyped(st.tab.keys[id], Values{recs: grouped}, &ce)
+		})
+	} else {
+		// Boxed-compat path: box the bucket's values into one shared backing
+		// array (capacity-clamped per key), exactly like the pre-typed
+		// engine's groupSorted staging.
+		backing := make([]any, 0, len(bucket))
+		err = groupLocal(bucket, &st.tab, &st.sc, func(id uint32, grouped []rec) error {
+			start := len(backing)
+			for i := range grouped {
+				backing = append(backing, grouped[i].value())
+			}
+			k := st.tab.keys[id]
+			vs, err := job.Combiner.Combine(k, backing[start:len(backing):len(backing)])
+			if err != nil {
+				return err
+			}
+			for _, v := range vs {
+				out = append(out, rec{key: id, tag: tagAny, val: v})
+				c.CombineOutput++
+				c.ShuffledBytes += int64(len(k)) + approxValueBytes(v)
+			}
+			return nil
+		})
+	}
+	if err != nil {
+		return err
+	}
+	st.buckets[r] = out
+	st.combineOut = bucket[:0]
+	return nil
 }
 
 // runReduceTask executes one reduce task with the same retry loop as map
-// tasks: a failed attempt is re-run from its immutable shuffled bucket.
-func (e *Engine) runReduceTask(job *Job, taskID int, pairs []Pair, jobSpan obs.SpanID, cancel <-chan struct{}) ([]Pair, Counters, faultCharge, error) {
-	return runTaskAttempts(e, job, PhaseReduce, taskID, jobSpan, cancel, func(attempt int, span obs.SpanID) ([]Pair, Counters, float64, error) {
-		return e.tryReduceTask(job, taskID, pairs, attempt, span, cancel)
+// tasks: a failed attempt is re-run from its immutable partition run. The
+// task's pooled group scratch is shared across its attempts (each attempt
+// re-scatters from the run) and recycled when the attempt loop ends —
+// nothing outside the task ever sees it.
+func (e *Engine) runReduceTask(job *Job, taskID int, run []rec, keys []string, jobSpan obs.SpanID, cancel <-chan struct{}) ([]Pair, Counters, faultCharge, error) {
+	sc := e.pools.getScratch()
+	out, c, fc, err := runTaskAttempts(e, job, PhaseReduce, taskID, jobSpan, cancel, func(attempt int, span obs.SpanID) ([]Pair, Counters, float64, error) {
+		return e.tryReduceTask(job, taskID, run, keys, sc, attempt, span, cancel)
 	})
+	e.pools.putScratch(sc)
+	return out, c, fc, err
 }
 
-// tryReduceTask groups a partition's pairs by key (sorted, as Hadoop
-// guarantees) and invokes the reducer. Grouping is the stable counting
-// group of groupSorted: no map[string][]any is built, the value slices of
-// all keys share one backing array, and stability keeps value order
-// deterministic (map-task order). An injected failure aborts the key loop
-// at a plan-chosen position, discarding the attempt's partial output and
-// counters exactly like a dying Hadoop reduce attempt.
-func (e *Engine) tryReduceTask(job *Job, taskID int, pairs []Pair, attempt int, span obs.SpanID, cancel <-chan struct{}) ([]Pair, Counters, float64, error) {
+// tryReduceTask groups a partition run by key (sorted, as Hadoop
+// guarantees) and invokes the reducer. Grouping is the counting sort of
+// groupRun over dense partition-local ids: no key string is hashed or
+// compared, and stability keeps value order deterministic (map-task order).
+// An injected failure aborts the key loop at a plan-chosen position,
+// discarding the attempt's partial output and counters exactly like a dying
+// Hadoop reduce attempt.
+func (e *Engine) tryReduceTask(job *Job, taskID int, run []rec, keys []string, sc *groupScratch, attempt int, span obs.SpanID, cancel <-chan struct{}) ([]Pair, Counters, float64, error) {
 	var c Counters
 	var straggler float64
-	failAt := -1 // threshold in consumed input pairs, -1 = never
+	failAt := -1 // threshold in consumed input records, -1 = never
 	if e.cfg.Faults != nil {
 		d := e.cfg.Faults.Decide(job.Name, PhaseReduce, taskID, attempt)
 		straggler = d.StragglerSeconds
@@ -713,18 +784,27 @@ func (e *Engine) tryReduceTask(job *Job, taskID int, pairs []Pair, attempt int, 
 			e.point(span, obs.PointStraggler, job.Name, taskID, attempt, PhaseReduce, straggler)
 		}
 		if d.Fail {
-			failAt = failIndex(d.FailFrac, len(pairs))
+			failAt = failIndex(d.FailFrac, len(run))
 		}
 	}
 	var out []Pair
 	ctx := &TaskContext{
-		JobName: job.Name,
-		TaskID:  taskID,
-		cache:   job.Cache,
-		emit:    func(p Pair) { out = append(out, p) },
+		JobName:  job.Name,
+		TaskID:   taskID,
+		cache:    job.Cache,
+		outPairs: &out,
+	}
+	// Boxed-compat reducers get values boxed into one backing array per
+	// attempt (capacity-clamped per key). It is freshly allocated — never
+	// pooled — because the legacy Reducer contract predates the typed
+	// plane's no-retention rule, so a reducer may legitimately keep the
+	// slice it was handed.
+	var backing []any
+	if job.Reducer != nil {
+		backing = make([]any, 0, len(run))
 	}
 	consumed := 0
-	err := groupSorted(pairs, func(k string, values []any) error {
+	err := groupRun(run, keys, sc, func(k string, grouped []rec) error {
 		if failAt >= 0 && consumed >= failAt {
 			if e.cfg.Tracer != nil {
 				e.point(span, obs.PointFault, job.Name, taskID, attempt, PhaseReduce, 0)
@@ -734,10 +814,17 @@ func (e *Engine) tryReduceTask(job *Job, taskID int, pairs []Pair, attempt int, 
 		if cancelled(cancel) {
 			return errTaskCancelled
 		}
-		consumed += len(values)
+		consumed += len(grouped)
 		c.ReduceInputKeys++
-		c.ReduceInputVals += int64(len(values))
-		return job.Reducer.Reduce(ctx, k, values)
+		c.ReduceInputVals += int64(len(grouped))
+		if job.TypedReducer != nil {
+			return job.TypedReducer.ReduceTyped(ctx, k, Values{recs: grouped})
+		}
+		start := len(backing)
+		for i := range grouped {
+			backing = append(backing, grouped[i].value())
+		}
+		return job.Reducer.Reduce(ctx, k, backing[start:len(backing):len(backing)])
 	})
 	if err != nil {
 		return nil, c, straggler, err

@@ -1,0 +1,19 @@
+package mr
+
+import "strconv"
+
+// IntKeys returns the key table [prefix+"0", prefix+"1", ..., prefix+(n-1)]
+// — the precomputed form of the fmt.Sprintf("%s%d", prefix, i) keys the
+// pipeline's per-cluster and per-attribute jobs emit. Building the strings
+// once per task (typically in a mapper's Setup) keeps per-emission key
+// construction off the hot path, where the hotpath analyzer flags it.
+func IntKeys(prefix string, n int) []string {
+	keys := make([]string, n)
+	buf := make([]byte, 0, len(prefix)+20)
+	for i := range keys {
+		buf = append(buf[:0], prefix...)
+		buf = strconv.AppendInt(buf, int64(i), 10)
+		keys[i] = string(buf)
+	}
+	return keys
+}

@@ -21,6 +21,7 @@ package mr
 
 import (
 	"fmt"
+	"math"
 
 	"p3cmr/internal/obs"
 )
@@ -84,6 +85,10 @@ func (f MapperFunc) Cleanup(*TaskContext) error { return nil }
 // input, so reducers must treat values — and whatever the values reference,
 // e.g. shipped slices — as read-only. Folding into values[0] in place would
 // double-count on retry; accumulate into fresh state instead.
+//
+// This is the boxed-compat surface: the engine materializes each key's
+// values into a fresh []any per attempt. Hot reducers should implement
+// TypedReducer instead, which reads the shuffle's typed records directly.
 type Reducer interface {
 	Reduce(ctx *TaskContext, key string, values []any) error
 }
@@ -96,8 +101,28 @@ func (f ReducerFunc) Reduce(ctx *TaskContext, key string, values []any) error {
 	return f(ctx, key, values)
 }
 
+// TypedReducer is the typed data plane's reduce surface: values arrive as a
+// Values view over the shuffle's records, so scalar payloads are read
+// without interface boxing. The Reducer contract carries over unchanged —
+// attempts are re-runnable, values are read-only — plus one addition: the
+// view (and any slice obtained from it) must not be retained after
+// ReduceTyped returns, because its backing buffers are recycled once the
+// job completes.
+type TypedReducer interface {
+	ReduceTyped(ctx *TaskContext, key string, values Values) error
+}
+
+// TypedReducerFunc adapts a plain function to the TypedReducer interface.
+type TypedReducerFunc func(ctx *TaskContext, key string, values Values) error
+
+// ReduceTyped implements TypedReducer.
+func (f TypedReducerFunc) ReduceTyped(ctx *TaskContext, key string, values Values) error {
+	return f(ctx, key, values)
+}
+
 // Combiner optionally folds mapper-local values of a key before the shuffle,
-// cutting shuffle volume exactly like a Hadoop combiner.
+// cutting shuffle volume exactly like a Hadoop combiner. This is the
+// boxed-compat surface; hot combiners should implement TypedCombiner.
 type Combiner interface {
 	Combine(key string, values []any) ([]any, error)
 }
@@ -108,6 +133,21 @@ type CombinerFunc func(key string, values []any) ([]any, error)
 // Combine implements Combiner.
 func (f CombinerFunc) Combine(key string, values []any) ([]any, error) {
 	return f(key, values)
+}
+
+// TypedCombiner folds one key's mapper-local values without boxing: inputs
+// arrive as a Values view, outputs leave through the key-bound CombineEmit.
+// Like Values everywhere, the view must not be retained after the call.
+type TypedCombiner interface {
+	CombineTyped(key string, values Values, out *CombineEmit) error
+}
+
+// TypedCombinerFunc adapts a plain function to the TypedCombiner interface.
+type TypedCombinerFunc func(key string, values Values, out *CombineEmit) error
+
+// CombineTyped implements TypedCombiner.
+func (f TypedCombinerFunc) CombineTyped(key string, values Values, out *CombineEmit) error {
+	return f(key, values, out)
 }
 
 // Job describes one MapReduce execution.
@@ -123,10 +163,17 @@ type Job struct {
 	Mapper    Mapper
 	NewMapper func() Mapper
 	// Reducer is optional. A map-only job (paper: the OD job of §5.5) leaves
-	// it nil and the mapper output is the job output.
+	// both it and TypedReducer nil and the mapper output is the job output.
+	// At most one of Reducer/TypedReducer may be set.
 	Reducer Reducer
-	// Combiner is optional.
+	// TypedReducer is the typed-plane alternative to Reducer: same key
+	// grouping and ordering guarantees, values delivered unboxed.
+	TypedReducer TypedReducer
+	// Combiner is optional. At most one of Combiner/TypedCombiner may be
+	// set.
 	Combiner Combiner
+	// TypedCombiner is the typed-plane alternative to Combiner.
+	TypedCombiner TypedCombiner
 	// NumReducers defaults to the engine configuration. The paper's
 	// histogram and moment jobs use a single reducer.
 	NumReducers int
@@ -220,8 +267,11 @@ func (o *Output) Single(key string) (any, bool) {
 // this alias keeps `mr.Counters` the engine-facing name.
 type Counters = obs.Counters
 
-// TaskContext is handed to every task attempt. Emit routes a pair into the
-// shuffle (for mappers) or into the job output (for reducers).
+// TaskContext is handed to every task attempt. The Emit family routes a
+// (key, value) record into the shuffle (for mappers) or into the job output
+// (for reducers). EmitF64/EmitI64/EmitInt — and the generic Emit function,
+// which dispatches to them — carry scalar payloads through the shuffle
+// without boxing them into `any`; the Emit method is the boxed-compat lane.
 type TaskContext struct {
 	// JobName and TaskID identify the attempt.
 	JobName string
@@ -229,13 +279,164 @@ type TaskContext struct {
 	// Split is the input split for map tasks, nil in reduce tasks.
 	Split *Split
 	cache map[string]any
-	emit  func(Pair)
+
+	// Map-side emit state (nil in reduce tasks): records accumulate into
+	// the attempt's per-partition typed buffers.
+	ms           *mapState
+	counters     *Counters
+	numReducers  int
+	chargeOnEmit bool
+	// Reduce-side output (nil in map tasks).
+	outPairs *[]Pair
 }
 
-// Emit outputs a (key, value) pair.
-func (ctx *TaskContext) Emit(key string, value any) {
-	ctx.emit(Pair{Key: key, Value: value})
+// emitRec is the single funnel of every emit lane.
+func (ctx *TaskContext) emitRec(key string, tag valueTag, num uint64, val any) {
+	if ctx.ms == nil {
+		// Reduce side: job output is the boxed surface, so scalar lanes box
+		// exactly once, here at the edge.
+		r := rec{tag: tag, num: num, val: val}
+		*ctx.outPairs = append(*ctx.outPairs, Pair{Key: key, Value: r.value()})
+		return
+	}
+	c := ctx.counters
+	c.MapOutputRecords++
+	r := rec{tag: tag, num: num, val: val}
+	if ctx.chargeOnEmit {
+		c.ShuffledBytes += int64(len(key)) + r.bytes()
+	}
+	id := ctx.ms.tab.intern(key, ctx.numReducers)
+	p := ctx.ms.tab.part[id]
+	r.key = id
+	ctx.ms.buckets[p] = append(ctx.ms.buckets[p], r)
 }
+
+// Emit outputs a (key, value) pair on the boxed-compat lane. Values the
+// caller already holds as `any` ship as-is; fresh scalars passed here box
+// at the call site — use EmitF64/EmitI64/EmitInt (or the generic Emit) on
+// hot paths instead.
+func (ctx *TaskContext) Emit(key string, value any) {
+	ctx.emitRec(key, tagAny, 0, value)
+}
+
+// EmitF64 outputs a (key, float64) record with no boxing.
+func (ctx *TaskContext) EmitF64(key string, value float64) {
+	ctx.emitRec(key, tagF64, math.Float64bits(value), nil)
+}
+
+// EmitI64 outputs a (key, int64) record with no boxing.
+func (ctx *TaskContext) EmitI64(key string, value int64) {
+	ctx.emitRec(key, tagI64, uint64(value), nil)
+}
+
+// EmitInt outputs a (key, int) record with no boxing. The value round-trips
+// as an int (not int64) on the boxed surface.
+func (ctx *TaskContext) EmitInt(key string, value int) {
+	ctx.emitRec(key, tagInt, uint64(int64(value)), nil)
+}
+
+// Emit is the generic typed emit: scalar types dispatch to the unboxed
+// lanes at compile time, everything else ships on the boxed lane exactly
+// like ctx.Emit. Equivalent outputs either way — the typed lanes only
+// change what allocates, never what the reducer or Output.Pairs observes.
+func Emit[V any](ctx *TaskContext, key string, value V) {
+	switch v := any(value).(type) {
+	case float64:
+		ctx.EmitF64(key, v)
+	case int64:
+		ctx.EmitI64(key, v)
+	case int:
+		ctx.EmitInt(key, v)
+	default:
+		ctx.emitRec(key, tagAny, 0, v)
+	}
+}
+
+// Values is a typed, read-only view over one key's shuffled values, in the
+// engine's deterministic delivery order (map-task order, then emission
+// order within a task). Scalar accessors read payloads without interface
+// boxing; Value boxes on demand for mixed or structured payloads.
+//
+// The view borrows the engine's pooled shuffle buffers: it is valid only
+// for the duration of the ReduceTyped/CombineTyped call it was passed to
+// and must not be retained or written through.
+type Values struct {
+	recs []rec
+}
+
+// Len returns the number of values.
+func (v Values) Len() int { return len(v.recs) }
+
+// Float64 returns value i as a float64. Like values[i].(float64) on the
+// boxed surface, it panics when the value is not a float64.
+func (v Values) Float64(i int) float64 {
+	r := &v.recs[i]
+	if r.tag == tagF64 {
+		return math.Float64frombits(r.num)
+	}
+	return r.val.(float64)
+}
+
+// Int64 returns value i as an int64, panicking on type mismatch.
+func (v Values) Int64(i int) int64 {
+	r := &v.recs[i]
+	if r.tag == tagI64 {
+		return int64(r.num)
+	}
+	return r.val.(int64)
+}
+
+// Int returns value i as an int, panicking on type mismatch.
+func (v Values) Int(i int) int {
+	r := &v.recs[i]
+	if r.tag == tagInt {
+		return int(int64(r.num))
+	}
+	return r.val.(int)
+}
+
+// Value returns value i boxed as `any` — the compat accessor for
+// structured payloads (slices, structs). Scalar lanes pay their boxing
+// allocation here, per call.
+func (v Values) Value(i int) any { return v.recs[i].value() }
+
+// AppendBoxed appends every value, boxed, to dst — a convenience for code
+// mid-migration between the boxed and typed surfaces.
+func (v Values) AppendBoxed(dst []any) []any {
+	for i := range v.recs {
+		dst = append(dst, v.recs[i].value())
+	}
+	return dst
+}
+
+// CombineEmit collects a typed combiner's output for the one key being
+// combined, charging shuffle accounting exactly as the boxed combine path
+// does (only post-combine records cross the modeled network).
+type CombineEmit struct {
+	out    *[]rec
+	key    uint32
+	keyLen int64
+	c      *Counters
+}
+
+func (ce *CombineEmit) push(tag valueTag, num uint64, val any) {
+	r := rec{key: ce.key, tag: tag, num: num, val: val}
+	ce.c.CombineOutput++
+	ce.c.ShuffledBytes += ce.keyLen + r.bytes()
+	*ce.out = append(*ce.out, r)
+}
+
+// Emit outputs one combined value on the boxed-compat lane.
+func (ce *CombineEmit) Emit(value any) { ce.push(tagAny, 0, value) }
+
+// EmitF64 outputs one combined float64 with no boxing.
+func (ce *CombineEmit) EmitF64(value float64) { ce.push(tagF64, math.Float64bits(value), nil) }
+
+// EmitI64 outputs one combined int64 with no boxing.
+func (ce *CombineEmit) EmitI64(value int64) { ce.push(tagI64, uint64(value), nil) }
+
+// EmitInt outputs one combined int with no boxing.
+func (ce *CombineEmit) EmitInt(value int) { ce.push(tagInt, uint64(int64(value)), nil) }
 
 // CacheValue fetches a distributed-cache entry; ok is false when missing.
 func (ctx *TaskContext) CacheValue(name string) (any, bool) {

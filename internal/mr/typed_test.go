@@ -1,0 +1,329 @@
+package mr
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// typedTestSplits builds a small deterministic input.
+func typedTestSplits(splits, rows, dim int) []*Split {
+	out := make([]*Split, splits)
+	global := 0
+	for s := 0; s < splits; s++ {
+		sp := &Split{ID: s, Offset: global, Dim: dim}
+		for r := 0; r < rows; r++ {
+			for d := 0; d < dim; d++ {
+				sp.Rows = append(sp.Rows, float64(global*dim+d)*0.25)
+			}
+			global++
+		}
+		out[s] = sp
+	}
+	return out
+}
+
+// TestTypedEmitMatchesBoxed runs the same logical job once through the
+// boxed-compat lane (ctx.Emit + Reducer) and once through the typed lane
+// (EmitF64 + TypedReducer) and requires byte-for-byte identical Output:
+// same pairs in the same order, same counters. This is the core compat
+// oracle of the typed plane.
+func TestTypedEmitMatchesBoxed(t *testing.T) {
+	splits := typedTestSplits(4, 32, 3)
+	key := func(g int) string { return fmt.Sprintf("k%d", g%7) }
+
+	boxed := &Job{
+		Name:   "boxed",
+		Splits: splits,
+		Mapper: MapperFunc(func(ctx *TaskContext, global int, row []float64) error {
+			ctx.Emit(key(global), row[0]+row[1])
+			return nil
+		}),
+		Reducer: ReducerFunc(func(ctx *TaskContext, k string, values []any) error {
+			sum := 0.0
+			for _, v := range values {
+				sum += v.(float64)
+			}
+			ctx.Emit(k, sum)
+			return nil
+		}),
+		NumReducers: 3,
+	}
+	typed := &Job{
+		Name:   "boxed", // same name: counters embed no name, spans do; keep apples-to-apples
+		Splits: splits,
+		Mapper: MapperFunc(func(ctx *TaskContext, global int, row []float64) error {
+			ctx.EmitF64(key(global), row[0]+row[1])
+			return nil
+		}),
+		TypedReducer: TypedReducerFunc(func(ctx *TaskContext, k string, values Values) error {
+			sum := 0.0
+			for i := 0; i < values.Len(); i++ {
+				sum += values.Float64(i)
+			}
+			ctx.EmitF64(k, sum)
+			return nil
+		}),
+		NumReducers: 3,
+	}
+
+	for _, par := range []int{1, 4} {
+		e1 := NewEngine(Config{Parallelism: par})
+		e2 := NewEngine(Config{Parallelism: par})
+		o1, err := e1.Run(boxed)
+		if err != nil {
+			t.Fatalf("par %d: boxed: %v", par, err)
+		}
+		o2, err := e2.Run(typed)
+		if err != nil {
+			t.Fatalf("par %d: typed: %v", par, err)
+		}
+		if !reflect.DeepEqual(o1.Pairs, o2.Pairs) {
+			t.Fatalf("par %d: typed pairs diverge from boxed\nboxed: %v\ntyped: %v", par, o1.Pairs, o2.Pairs)
+		}
+		if o1.Counters != o2.Counters {
+			t.Fatalf("par %d: counters diverge\nboxed: %+v\ntyped: %+v", par, o1.Counters, o2.Counters)
+		}
+	}
+}
+
+// TestTypedScalarRoundTrip pins the boxed dynamic type of every scalar lane:
+// an emitted int must come back as int (not int64), an int64 as int64, a
+// float64 as float64 — through map-only output, reducers, and combiners.
+func TestTypedScalarRoundTrip(t *testing.T) {
+	splits := typedTestSplits(1, 4, 1)
+	job := &Job{
+		Name:   "roundtrip",
+		Splits: splits,
+		Mapper: MapperFunc(func(ctx *TaskContext, global int, row []float64) error {
+			Emit(ctx, "f", 1.5)
+			Emit(ctx, "i", int64(-7))
+			Emit(ctx, "n", 42)
+			Emit(ctx, "s", []float64{1, 2})
+			return nil
+		}),
+	}
+	out, err := Default().Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := out.Grouped()
+	if v := byKey["f"][0]; v != any(1.5) {
+		t.Fatalf("float64 round-trip: got %T %v", v, v)
+	}
+	if v := byKey["i"][0]; v != any(int64(-7)) {
+		t.Fatalf("int64 round-trip: got %T %v", v, v)
+	}
+	if v := byKey["n"][0]; v != any(42) {
+		t.Fatalf("int round-trip: got %T %v (must stay int, not int64)", v, v)
+	}
+	if v, ok := byKey["s"][0].([]float64); !ok || len(v) != 2 {
+		t.Fatalf("slice round-trip: got %T", byKey["s"][0])
+	}
+}
+
+// TestValuesAccessors exercises every Values accessor against a reducer's
+// mixed-lane input.
+func TestValuesAccessors(t *testing.T) {
+	splits := typedTestSplits(1, 1, 1)
+	job := &Job{
+		Name:   "accessors",
+		Splits: splits,
+		Mapper: MapperFunc(func(ctx *TaskContext, global int, row []float64) error {
+			ctx.EmitF64("k", 0.5)
+			ctx.EmitI64("k", 9)
+			ctx.EmitInt("k", 3)
+			ctx.Emit("k", "str")
+			return nil
+		}),
+		TypedReducer: TypedReducerFunc(func(ctx *TaskContext, k string, values Values) error {
+			if values.Len() != 4 {
+				t.Errorf("Len = %d, want 4", values.Len())
+			}
+			if got := values.Float64(0); got != 0.5 {
+				t.Errorf("Float64(0) = %v", got)
+			}
+			if got := values.Int64(1); got != 9 {
+				t.Errorf("Int64(1) = %v", got)
+			}
+			if got := values.Int(2); got != 3 {
+				t.Errorf("Int(2) = %v", got)
+			}
+			if got := values.Value(3); got != any("str") {
+				t.Errorf("Value(3) = %v", got)
+			}
+			boxed := values.AppendBoxed(nil)
+			want := []any{0.5, int64(9), 3, "str"}
+			if !reflect.DeepEqual(boxed, want) {
+				t.Errorf("AppendBoxed = %#v, want %#v", boxed, want)
+			}
+			ctx.EmitInt(k, values.Len())
+			return nil
+		}),
+	}
+	out, err := Default().Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := out.Single("k"); !ok || v != any(4) {
+		t.Fatalf("output = %v", out.Pairs)
+	}
+}
+
+// TestTypedCombinerMatchesBoxed runs the same sum job with a boxed Combiner
+// and a TypedCombiner and requires identical output and counters —
+// including CombineInput/CombineOutput and the post-combine ShuffledBytes.
+func TestTypedCombinerMatchesBoxed(t *testing.T) {
+	splits := typedTestSplits(3, 40, 2)
+	key := func(g int) string { return fmt.Sprintf("k%d", g%5) }
+	mapF64 := MapperFunc(func(ctx *TaskContext, global int, row []float64) error {
+		ctx.EmitF64(key(global), row[1])
+		return nil
+	})
+	reduce := TypedReducerFunc(func(ctx *TaskContext, k string, values Values) error {
+		sum := 0.0
+		for i := 0; i < values.Len(); i++ {
+			sum += values.Float64(i)
+		}
+		ctx.EmitF64(k, sum)
+		return nil
+	})
+
+	boxed := &Job{
+		Name: "combine", Splits: splits, Mapper: mapF64, TypedReducer: reduce,
+		Combiner: CombinerFunc(func(k string, values []any) ([]any, error) {
+			sum := 0.0
+			for _, v := range values {
+				sum += v.(float64)
+			}
+			return []any{sum}, nil
+		}),
+		NumReducers: 2,
+	}
+	typed := &Job{
+		Name: "combine", Splits: splits, Mapper: mapF64, TypedReducer: reduce,
+		TypedCombiner: TypedCombinerFunc(func(k string, values Values, out *CombineEmit) error {
+			sum := 0.0
+			for i := 0; i < values.Len(); i++ {
+				sum += values.Float64(i)
+			}
+			out.EmitF64(sum)
+			return nil
+		}),
+		NumReducers: 2,
+	}
+	o1, err := Default().Run(boxed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := Default().Run(typed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(o1.Pairs, o2.Pairs) {
+		t.Fatalf("typed combiner pairs diverge\nboxed: %v\ntyped: %v", o1.Pairs, o2.Pairs)
+	}
+	if o1.Counters != o2.Counters {
+		t.Fatalf("typed combiner counters diverge\nboxed: %+v\ntyped: %+v", o1.Counters, o2.Counters)
+	}
+	if o1.Counters.CombineInput == 0 || o1.Counters.CombineOutput == 0 {
+		t.Fatalf("combiner never ran: %+v", o1.Counters)
+	}
+}
+
+// TestJobValidation pins the at-most-one-of constraints on the dual
+// reducer/combiner surfaces.
+func TestJobValidation(t *testing.T) {
+	splits := typedTestSplits(1, 1, 1)
+	m := MapperFunc(func(ctx *TaskContext, global int, row []float64) error { return nil })
+	red := ReducerFunc(func(ctx *TaskContext, k string, values []any) error { return nil })
+	tred := TypedReducerFunc(func(ctx *TaskContext, k string, values Values) error { return nil })
+	if _, err := Default().Run(&Job{Name: "both-red", Splits: splits, Mapper: m, Reducer: red, TypedReducer: tred}); err == nil {
+		t.Fatal("want error when both Reducer and TypedReducer are set")
+	}
+	cb := CombinerFunc(func(k string, values []any) ([]any, error) { return values, nil })
+	tcb := TypedCombinerFunc(func(k string, values Values, out *CombineEmit) error { return nil })
+	if _, err := Default().Run(&Job{Name: "both-cb", Splits: splits, Mapper: m, TypedReducer: tred, Combiner: cb, TypedCombiner: tcb}); err == nil {
+		t.Fatal("want error when both Combiner and TypedCombiner are set")
+	}
+}
+
+// TestCombinerDropsAllValuesOfKey pins the empty-group contract: a combiner
+// that folds every value of a key away must make the key invisible to the
+// reducer — on both lanes, identically.
+func TestCombinerDropsAllValuesOfKey(t *testing.T) {
+	splits := typedTestSplits(2, 10, 1)
+	mk := MapperFunc(func(ctx *TaskContext, global int, row []float64) error {
+		ctx.EmitInt(fmt.Sprintf("k%d", global%4), 1)
+		return nil
+	})
+	seen := map[string]bool{}
+	job := &Job{
+		Name: "drop", Splits: splits, Mapper: mk,
+		TypedCombiner: TypedCombinerFunc(func(k string, values Values, out *CombineEmit) error {
+			if k == "k1" {
+				return nil // fold the key away entirely
+			}
+			out.EmitInt(values.Len())
+			return nil
+		}),
+		TypedReducer: TypedReducerFunc(func(ctx *TaskContext, k string, values Values) error {
+			seen[k] = true
+			return nil
+		}),
+		NumReducers: 1, // single reducer, sequential: the seen map is safe
+	}
+	if _, err := NewEngine(Config{Parallelism: 1}).Run(job); err != nil {
+		t.Fatal(err)
+	}
+	if seen["k1"] {
+		t.Fatal("key k1 reached the reducer although the combiner dropped all its values")
+	}
+	if !seen["k0"] || !seen["k2"] || !seen["k3"] {
+		t.Fatalf("surviving keys missing from reducer: %v", seen)
+	}
+}
+
+// TestPoolReuseAcrossJobs runs many jobs back-to-back on one engine (the
+// pools' steady state) and checks outputs stay identical run over run —
+// with and without DebugPoisonPools, which would corrupt output loudly if
+// any recycled buffer were still referenced.
+func TestPoolReuseAcrossJobs(t *testing.T) {
+	for _, poison := range []bool{false, true} {
+		e := NewEngine(Config{Parallelism: 4, DebugPoisonPools: poison})
+		var first *Output
+		for iter := 0; iter < 5; iter++ {
+			job := &Job{
+				Name:   "steady",
+				Splits: typedTestSplits(4, 25, 2),
+				Mapper: MapperFunc(func(ctx *TaskContext, global int, row []float64) error {
+					ctx.EmitF64(fmt.Sprintf("k%d", global%9), row[0])
+					return nil
+				}),
+				TypedReducer: TypedReducerFunc(func(ctx *TaskContext, k string, values Values) error {
+					sum := 0.0
+					for i := 0; i < values.Len(); i++ {
+						sum += values.Float64(i)
+					}
+					ctx.EmitF64(k, sum)
+					return nil
+				}),
+				NumReducers: 3,
+			}
+			out, err := e.Run(job)
+			if err != nil {
+				t.Fatalf("poison=%v iter %d: %v", poison, iter, err)
+			}
+			if first == nil {
+				first = out
+				continue
+			}
+			if !reflect.DeepEqual(first.Pairs, out.Pairs) {
+				t.Fatalf("poison=%v iter %d: output drifted across pooled runs", poison, iter)
+			}
+			if first.Counters != out.Counters {
+				t.Fatalf("poison=%v iter %d: counters drifted across pooled runs", poison, iter)
+			}
+		}
+	}
+}

@@ -196,6 +196,7 @@ type sampleMapper struct {
 	rng     *rand.Rand
 	buffers [][]float64
 	seen    []int
+	keys    []string
 	proj    []float64
 	sc1     []float64
 	sc2     []float64
@@ -206,6 +207,7 @@ func (m *sampleMapper) Setup(ctx *mr.TaskContext) error {
 	m.rng = rand.New(rand.NewSource(int64(ctx.TaskID) + 13))
 	m.buffers = make([][]float64, m.model.K())
 	m.seen = make([]int, m.model.K())
+	m.keys = mr.IntKeys("c", m.model.K())
 	m.proj = make([]float64, d)
 	m.sc1 = make([]float64, d)
 	m.sc2 = make([]float64, d)
@@ -231,7 +233,7 @@ func (m *sampleMapper) Map(ctx *mr.TaskContext, global int, row []float64) error
 func (m *sampleMapper) Cleanup(ctx *mr.TaskContext) error {
 	for c, buf := range m.buffers {
 		if len(buf) > 0 {
-			ctx.Emit(fmt.Sprintf("c%d", c), buf)
+			ctx.Emit(m.keys[c], buf)
 		}
 	}
 	return nil
@@ -250,10 +252,10 @@ func ellipsoidMeans(engine *mr.Engine, splits []*mr.Split, robust *em.Model, rad
 		NewMapper: func() mr.Mapper {
 			return &inEllipsoidMapper{model: robust, radius2: radius2, emitCov: false}
 		},
-		Reducer: mr.ReducerFunc(func(ctx *mr.TaskContext, key string, values []any) error {
+		TypedReducer: mr.TypedReducerFunc(func(ctx *mr.TaskContext, key string, values mr.Values) error {
 			agg := meanStat{Sum: make([]float64, d)}
-			for _, v := range values {
-				st := v.(meanStat)
+			for i := 0; i < values.Len(); i++ {
+				st := values.Value(i).(meanStat)
 				agg.Count += st.Count
 				for j := range agg.Sum {
 					agg.Sum[j] += st.Sum[j]
@@ -298,10 +300,10 @@ func ellipsoidCovariances(engine *mr.Engine, splits []*mr.Split, robust *em.Mode
 		NewMapper: func() mr.Mapper {
 			return &inEllipsoidMapper{model: robust, radius2: radius2, emitCov: true, means: means}
 		},
-		Reducer: mr.ReducerFunc(func(ctx *mr.TaskContext, key string, values []any) error {
+		TypedReducer: mr.TypedReducerFunc(func(ctx *mr.TaskContext, key string, values mr.Values) error {
 			agg := scatterStat{S: make([]float64, d*d)}
-			for _, v := range values {
-				st := v.(scatterStat)
+			for i := 0; i < values.Len(); i++ {
+				st := values.Value(i).(scatterStat)
 				agg.Count += st.Count
 				for j := range agg.S {
 					agg.S[j] += st.S[j]
@@ -343,6 +345,7 @@ type inEllipsoidMapper struct {
 
 	sums     []meanStat
 	scatters []scatterStat
+	keys     []string
 	proj     []float64
 	sc1      []float64
 	sc2      []float64
@@ -351,6 +354,7 @@ type inEllipsoidMapper struct {
 func (m *inEllipsoidMapper) Setup(*mr.TaskContext) error {
 	d := len(m.model.Attrs)
 	k := m.model.K()
+	m.keys = mr.IntKeys("c", k)
 	if m.emitCov {
 		m.scatters = make([]scatterStat, k)
 		for i := range m.scatters {
@@ -404,14 +408,14 @@ func (m *inEllipsoidMapper) Cleanup(ctx *mr.TaskContext) error {
 	if m.emitCov {
 		for c, st := range m.scatters {
 			if st.Count > 0 {
-				ctx.Emit(fmt.Sprintf("c%d", c), st)
+				ctx.Emit(m.keys[c], st)
 			}
 		}
 		return nil
 	}
 	for c, st := range m.sums {
 		if st.Count > 0 {
-			ctx.Emit(fmt.Sprintf("c%d", c), st)
+			ctx.Emit(m.keys[c], st)
 		}
 	}
 	return nil

@@ -169,10 +169,10 @@ func robustModel(engine *mr.Engine, splits []*mr.Split, model *em.Model, trace o
 		NewMapper: func() mr.Mapper {
 			return &ballMapper{model: model}
 		},
-		Reducer: mr.ReducerFunc(func(ctx *mr.TaskContext, key string, values []any) error {
-			per := make([]ballStat, 0, len(values))
-			for _, v := range values {
-				per = append(per, v.(ballStat))
+		TypedReducer: mr.TypedReducerFunc(func(ctx *mr.TaskContext, key string, values mr.Values) error {
+			per := make([]ballStat, 0, values.Len())
+			for i := 0; i < values.Len(); i++ {
+				per = append(per, values.Value(i).(ballStat))
 			}
 			agg := ballStat{Center: make([]float64, d)}
 			col := make([]float64, 0, len(per))
@@ -233,6 +233,7 @@ func robustModel(engine *mr.Engine, splits []*mr.Split, model *em.Model, trace o
 type ballMapper struct {
 	model  *em.Model
 	groups [][]float64 // projected points per cluster, row-major
+	keys   []string
 	proj   []float64
 	sc1    []float64
 	sc2    []float64
@@ -241,6 +242,7 @@ type ballMapper struct {
 func (m *ballMapper) Setup(*mr.TaskContext) error {
 	d := len(m.model.Attrs)
 	m.groups = make([][]float64, m.model.K())
+	m.keys = mr.IntKeys("c", m.model.K())
 	m.proj = make([]float64, d)
 	m.sc1 = make([]float64, d)
 	m.sc2 = make([]float64, d)
@@ -284,7 +286,7 @@ func (m *ballMapper) Cleanup(ctx *mr.TaskContext) error {
 		if n%2 == 0 && n >= 2 {
 			radius = (dists[n/2-1] + dists[n/2]) / 2
 		}
-		ctx.Emit(fmt.Sprintf("c%d", c), ballStat{Center: center, Radius: radius, Count: int64(n)})
+		ctx.Emit(m.keys[c], ballStat{Center: center, Radius: radius, Count: int64(n)})
 	}
 	return nil
 }
@@ -305,10 +307,10 @@ func ballMeans(engine *mr.Engine, splits []*mr.Split, model *em.Model, balls []*
 		NewMapper: func() mr.Mapper {
 			return &inBallMapper{model: model, balls: balls, emitCov: false}
 		},
-		Reducer: mr.ReducerFunc(func(ctx *mr.TaskContext, key string, values []any) error {
+		TypedReducer: mr.TypedReducerFunc(func(ctx *mr.TaskContext, key string, values mr.Values) error {
 			agg := meanStat{Sum: make([]float64, d)}
-			for _, v := range values {
-				st := v.(meanStat)
+			for i := 0; i < values.Len(); i++ {
+				st := values.Value(i).(meanStat)
 				agg.Count += st.Count
 				for j := range agg.Sum {
 					agg.Sum[j] += st.Sum[j]
@@ -359,10 +361,10 @@ func ballCovariances(engine *mr.Engine, splits []*mr.Split, model *em.Model, bal
 		NewMapper: func() mr.Mapper {
 			return &inBallMapper{model: model, balls: balls, emitCov: true, means: means}
 		},
-		Reducer: mr.ReducerFunc(func(ctx *mr.TaskContext, key string, values []any) error {
+		TypedReducer: mr.TypedReducerFunc(func(ctx *mr.TaskContext, key string, values mr.Values) error {
 			agg := scatterStat{S: make([]float64, d*d)}
-			for _, v := range values {
-				st := v.(scatterStat)
+			for i := 0; i < values.Len(); i++ {
+				st := values.Value(i).(scatterStat)
 				agg.Count += st.Count
 				for j := range agg.S {
 					agg.S[j] += st.S[j]
@@ -406,6 +408,7 @@ type inBallMapper struct {
 
 	sums     []meanStat
 	scatters []scatterStat
+	keys     []string
 	proj     []float64
 	sc1      []float64
 	sc2      []float64
@@ -414,6 +417,7 @@ type inBallMapper struct {
 func (m *inBallMapper) Setup(*mr.TaskContext) error {
 	d := len(m.model.Attrs)
 	k := m.model.K()
+	m.keys = mr.IntKeys("c", k)
 	if m.emitCov {
 		m.scatters = make([]scatterStat, k)
 		for i := range m.scatters {
@@ -475,14 +479,14 @@ func (m *inBallMapper) Cleanup(ctx *mr.TaskContext) error {
 	if m.emitCov {
 		for c, st := range m.scatters {
 			if st.Count > 0 {
-				ctx.Emit(fmt.Sprintf("c%d", c), st)
+				ctx.Emit(m.keys[c], st)
 			}
 		}
 		return nil
 	}
 	for c, st := range m.sums {
 		if st.Count > 0 {
-			ctx.Emit(fmt.Sprintf("c%d", c), st)
+			ctx.Emit(m.keys[c], st)
 		}
 	}
 	return nil
