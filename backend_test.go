@@ -1,0 +1,56 @@
+package p3cmr
+
+import (
+	"bytes"
+	"testing"
+
+	"p3cmr/internal/mr"
+)
+
+// TestBackendJSONResultBitIdentical extends the end-to-end JSON oracle
+// across the Backend seam: the full pipeline's WriteJSON output must be
+// byte-for-byte identical no matter which backend the engine executes on,
+// at any parallelism, with and without faults. The pipeline's jobs are
+// closures (no Job.Impl), so the registry-free backends — in-process and
+// the sequential simulated reference — are the ones a pipeline can select;
+// the multiprocess backend's identical-output guarantee is pinned by the
+// registry-based conformance suite in internal/mr.
+func TestBackendJSONResultBitIdentical(t *testing.T) {
+	data, _ := genAPITestData(t, 2000, 6)
+	data.Normalize()
+
+	render := func(engine *mr.Engine) []byte {
+		t.Helper()
+		res, err := Run(data, Config{Algorithm: P3CPlusMRLight, Engine: engine})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf, P3CPlusMRLight, true); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	baseline := render(mr.NewEngine(mr.Config{Parallelism: 4}))
+	plan := mr.RateFaultPlan{MapRate: 0.3, ReduceRate: 0.3, Seed: 19}
+	for _, backend := range []string{"inprocess", "simulated"} {
+		for _, par := range []int{1, 8} {
+			for _, faulty := range []bool{false, true} {
+				cfg := mr.Config{Backend: backend, Parallelism: par}
+				name := backend
+				if faulty {
+					cfg.Faults, cfg.MaxAttempts = plan, 12
+					name += "/chaos"
+				}
+				engine := mr.NewEngine(cfg)
+				if got := render(engine); !bytes.Equal(got, baseline) {
+					t.Errorf("%s/par=%d: JSON result differs from in-process fault-free baseline", name, par)
+				}
+				if faulty && engine.TotalCounters().TaskRetries == 0 {
+					t.Errorf("%s/par=%d: no retries injected — oracle exercised nothing", name, par)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"p3cmr/internal/dataset"
+	"p3cmr/internal/mr"
+)
+
+// The demo job is registered by name so it can run on the multiprocess
+// backend: worker processes are re-exec'd copies of this binary, and the
+// init below runs in them too, so both sides resolve "p3crun-demo-hist"
+// to the same functions. It bins every attribute value of every row into
+// a per-dimension histogram — a shuffle-heavy shape that exercises the
+// out-of-core spill path on data sets of any size.
+func init() {
+	mr.RegisterJobImpl("p3crun-demo-hist", func(spec []byte) (mr.JobFuncs, error) {
+		return mr.JobFuncs{
+			Mapper: mr.MapperFunc(func(ctx *mr.TaskContext, global int, row []float64) error {
+				for d, v := range row {
+					b := int(v * 10)
+					if b < 0 {
+						b = 0
+					} else if b > 9 {
+						b = 9
+					}
+					ctx.EmitI64(fmt.Sprintf("d%02d_b%d", d, b), 1)
+				}
+				return nil
+			}),
+			TypedCombiner: mr.TypedCombinerFunc(func(key string, values mr.Values, out *mr.CombineEmit) error {
+				var n int64
+				for i := 0; i < values.Len(); i++ {
+					n += values.Int64(i)
+				}
+				out.EmitI64(n)
+				return nil
+			}),
+			TypedReducer: mr.TypedReducerFunc(func(ctx *mr.TaskContext, key string, values mr.Values) error {
+				var n int64
+				for i := 0; i < values.Len(); i++ {
+					n += values.Int64(i)
+				}
+				ctx.EmitI64(key, n)
+				return nil
+			}),
+		}, nil
+	})
+}
+
+// runDemo runs the registered histogram job over the data set on whatever
+// backend the engine was configured with and prints the per-dimension bin
+// counts plus the engine's accounting — for the multiprocess backend,
+// including worker-process and spill statistics.
+func runDemo(data *dataset.Dataset, engine *mr.Engine, numSplits int) error {
+	n := data.N()
+	if numSplits <= 0 {
+		numSplits = 8
+	}
+	if numSplits > n {
+		numSplits = n
+	}
+	splits := make([]*mr.Split, numSplits)
+	per := (n + numSplits - 1) / numSplits
+	for s := range splits {
+		lo, hi := s*per, (s+1)*per
+		if hi > n {
+			hi = n
+		}
+		splits[s] = &mr.Split{ID: s, Offset: lo, Dim: data.Dim, Rows: data.Rows[lo*data.Dim : hi*data.Dim]}
+	}
+	job := &mr.Job{Name: "demo-hist", Splits: splits, Impl: "p3crun-demo-hist", NumReducers: 4}
+	out, err := engine.Run(job)
+	if err != nil {
+		return err
+	}
+
+	bins := make(map[string]int64, len(out.Pairs))
+	keys := make([]string, 0, len(out.Pairs))
+	for _, p := range out.Pairs {
+		if _, seen := bins[p.Key]; !seen {
+			keys = append(keys, p.Key)
+		}
+		switch x := p.Value.(type) {
+		case int64:
+			bins[p.Key] += x
+		case int:
+			bins[p.Key] += int64(x)
+		}
+	}
+	sort.Strings(keys)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "bin\tcount")
+	for _, k := range keys {
+		fmt.Fprintf(tw, "%s\t%d\n", k, bins[k])
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	c := out.Counters
+	fmt.Printf("\nmap in %d, map out %d, shuffled %d B, retries %d\n",
+		c.MapInputRecords, c.MapOutputRecords, c.ShuffledBytes, c.TaskRetries)
+	if ps, ok := engine.LastProcStats(); ok {
+		fmt.Printf("workers spawned %d (killed %d), spill files %d, segments %d (%d mid-task), spilled %d B, merged segments %d\n",
+			ps.WorkersSpawned, ps.WorkersKilled, ps.SpillFiles, ps.Segments,
+			ps.MidTaskSpills, ps.SpilledBytes, ps.MergedSegments)
+	}
+	return nil
+}

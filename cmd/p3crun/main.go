@@ -28,6 +28,10 @@ import (
 )
 
 func main() {
+	// Must run before anything else: when this binary was re-exec'd by the
+	// multiprocess backend it is a shuffle worker, not a CLI, and this call
+	// never returns in that case.
+	mr.MaybeWorkerProcess()
 	var (
 		in        = flag.String("in", "", "input data file (required)")
 		format    = flag.String("format", "bin", "input format: bin|csv")
@@ -49,6 +53,11 @@ func main() {
 		opsLinger = flag.Duration("ops-linger", 0, "keep the ops server up this long after the run finishes")
 		flightN   = flag.Int("flight", 0, "record the last N trace events in a flight recorder (0 = off)")
 		flightOut = flag.String("flight-out", "", "flight-recorder post-mortem path (implies -flight; also dumped on success at exit)")
+		backend   = flag.String("backend", "", "execution backend: inprocess|multiprocess|simulated (default inprocess)")
+		spillDir  = flag.String("spill-dir", "", "multiprocess backend: directory for shuffle spill files (default os temp)")
+		spillMB   = flag.Int("spill-mb", 0, "multiprocess backend: per-map-task in-memory shuffle budget in MiB before spilling (0 = default, 1 gives the smallest budget)")
+		chaos     = flag.Float64("chaos", 0, "inject seeded task faults at this rate per phase (exercises retries; output is unchanged)")
+		demo      = flag.Bool("demo", false, "run the built-in histogram demo job on the selected backend instead of clustering")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -80,8 +89,16 @@ func main() {
 		*flightN = obs.DefaultFlightLimit
 	}
 	if *jobStats || *simulate || *traceOut != "" || *report || *metrics ||
-		*opsAddr != "" || *flightN > 0 {
-		ec := mr.Config{}
+		*opsAddr != "" || *flightN > 0 || *backend != "" || *spillDir != "" ||
+		*spillMB > 0 || *chaos > 0 || *demo {
+		ec := mr.Config{Backend: *backend, SpillDir: *spillDir}
+		if *spillMB > 0 {
+			ec.SpillThresholdBytes = int64(*spillMB) << 20
+		}
+		if *chaos > 0 {
+			ec.Faults = mr.RateFaultPlan{MapRate: *chaos, CombineRate: *chaos, ReduceRate: *chaos, Seed: 1}
+			ec.MaxAttempts = 12
+		}
 		if *simulate {
 			ec.Cost = mr.DefaultCostModel()
 		}
@@ -129,31 +146,8 @@ func main() {
 		defer ops.Close()
 		fmt.Fprintf(os.Stderr, "ops server listening on http://%s\n", ops.Addr())
 	}
-	cfg := p3cmr.Config{Algorithm: alg, SimulateCluster: *simulate, Engine: engine}
-	if *theta > 0 || *alphaPoi > 0 || *alphaChi > 0 || *splits > 0 {
-		params := paramsFor(alg)
-		if *theta > 0 {
-			params.ThetaCC = *theta
-		}
-		if *alphaPoi > 0 {
-			params.AlphaPoisson = *alphaPoi
-		}
-		if *alphaChi > 0 {
-			params.AlphaChi2 = *alphaChi
-		}
-		if *splits > 0 {
-			params.NumSplits = *splits
-		}
-		cfg.Params = &params
-	}
-
-	res, err := p3cmr.Run(data, cfg)
-	if err != nil {
-		fatal(err)
-	}
-
 	// finishObs flushes the trace file and prints the report and metrics
-	// snapshot (when requested). Shared by the JSON and text output paths.
+	// snapshot (when requested). Shared by the demo, JSON and text paths.
 	finishObs := func() {
 		if jsonl != nil {
 			if err := jsonl.Close(); err != nil {
@@ -187,6 +181,37 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ops server lingering for %s\n", *opsLinger)
 			time.Sleep(*opsLinger)
 		}
+	}
+
+	if *demo {
+		if err := runDemo(data, engine, *splits); err != nil {
+			fatal(err)
+		}
+		finishObs()
+		return
+	}
+
+	cfg := p3cmr.Config{Algorithm: alg, SimulateCluster: *simulate, Engine: engine}
+	if *theta > 0 || *alphaPoi > 0 || *alphaChi > 0 || *splits > 0 {
+		params := paramsFor(alg)
+		if *theta > 0 {
+			params.ThetaCC = *theta
+		}
+		if *alphaPoi > 0 {
+			params.AlphaPoisson = *alphaPoi
+		}
+		if *alphaChi > 0 {
+			params.AlphaChi2 = *alphaChi
+		}
+		if *splits > 0 {
+			params.NumSplits = *splits
+		}
+		cfg.Params = &params
+	}
+
+	res, err := p3cmr.Run(data, cfg)
+	if err != nil {
+		fatal(err)
 	}
 
 	if *jsonOut {

@@ -30,6 +30,7 @@ type traceEvent struct {
 	SimS    float64       `json:"sim_s"`
 	Seconds float64       `json:"seconds"`
 	Retries int64         `json:"retries"`
+	Worker  string        `json:"worker"`
 	Ctrs    *obs.Counters `json:"counters"`
 	Wasted  *obs.Counters `json:"wasted"`
 }
@@ -51,6 +52,7 @@ type span struct {
 	realS    float64
 	simS     float64
 	retries  int64
+	worker   string
 	counters obs.Counters
 	wasted   obs.Counters
 	children []*span
@@ -97,7 +99,23 @@ type RunAnalysis struct {
 	Skew             []SkewRow      `json:"skew,omitempty"`
 	Stragglers       []StragglerRow `json:"stragglers,omitempty"`
 	RetryWaste       []WasteRow     `json:"retry_waste,omitempty"`
+	Workers          []WorkerRow    `json:"workers,omitempty"`
 	Slowest          []AttemptRow   `json:"slowest,omitempty"`
+}
+
+// WorkerRow attributes task attempts to one worker process of the
+// multiprocess backend: how much wall time it ran, how much of that was
+// attempts that died on it (the retry waste a straggling or crashing
+// worker causes), and the straggler delay charged to it. Present only for
+// traces whose task spans carry worker names.
+type WorkerRow struct {
+	Worker           string  `json:"worker"`
+	Attempts         int     `json:"attempts"`
+	Faults           int     `json:"faults"`
+	WallSeconds      float64 `json:"wall_s"`
+	FaultWallSeconds float64 `json:"fault_wall_s"`
+	StragglerSeconds float64 `json:"straggler_s"`
+	WastedRecords    int64   `json:"wasted_records"`
 }
 
 // CPStep is one hop of the critical path: the chain of last-finishing
@@ -166,6 +184,7 @@ type AttemptRow struct {
 	Task     string  `json:"task"`
 	Seconds  float64 `json:"seconds"`
 	Outcome  string  `json:"outcome"`
+	Worker   string  `json:"worker,omitempty"`
 	StartS   float64 `json:"start_s"`
 	Retries  int64   `json:"retries,omitempty"`
 	Straggle float64 `json:"straggler_s,omitempty"`
@@ -217,6 +236,7 @@ func parseTrace(r io.Reader) (spans map[int64]*span, roots []*span, events int, 
 			s.realS = ev.RealS
 			s.simS = ev.SimS
 			s.retries = ev.Retries
+			s.worker = ev.Worker
 			if ev.Ctrs != nil {
 				s.counters = *ev.Ctrs
 			}
@@ -281,6 +301,15 @@ func analyzeRun(root *span, topK int) RunAnalysis {
 	var tasks []*span
 	straggle := make(map[jobPhaseKey]*StragglerRow)
 	waste := make(map[string]*WasteRow)
+	workers := make(map[string]*WorkerRow)
+	workerRow := func(name string) *WorkerRow {
+		wr := workers[name]
+		if wr == nil {
+			wr = &WorkerRow{Worker: name}
+			workers[name] = wr
+		}
+		return wr
+	}
 	var walk func(s *span)
 	walk = func(s *span) {
 		switch s.kind {
@@ -303,6 +332,16 @@ func analyzeRun(root *span, topK int) RunAnalysis {
 			if s.task != -1 {
 				tasks = append(tasks, s)
 				ra.TaskAttempts++
+				if s.worker != "" {
+					wr := workerRow(s.worker)
+					wr.Attempts++
+					wr.WallSeconds += s.realS
+					if s.outcome == "fault" {
+						wr.Faults++
+						wr.FaultWallSeconds += s.realS
+						wr.WastedRecords += s.wasted.MapInputRecords + s.wasted.ReduceInputVals
+					}
+				}
 				switch s.outcome {
 				case "fault":
 					ra.Faults++
@@ -330,6 +369,9 @@ func analyzeRun(root *span, topK int) RunAnalysis {
 				}
 				sr.Count++
 				sr.Seconds += p.Seconds
+				if p.Worker != "" {
+					workerRow(p.Worker).StragglerSeconds += p.Seconds
+				}
 			case "cancel":
 				ra.Cancels++
 			}
@@ -344,8 +386,28 @@ func analyzeRun(root *span, topK int) RunAnalysis {
 	ra.Skew = skewRows(tasks)
 	ra.Stragglers = sortedStragglers(straggle)
 	ra.RetryWaste = sortedWaste(waste)
+	ra.Workers = sortedWorkers(workers)
 	ra.Slowest = slowestAttempts(tasks, topK)
 	return ra
+}
+
+// sortedWorkers orders worker rows by fault wall time (the waste a bad
+// worker cost the run), then total wall time, then name.
+func sortedWorkers(m map[string]*WorkerRow) []WorkerRow {
+	rows := make([]WorkerRow, 0, len(m))
+	for _, r := range m {
+		rows = append(rows, *r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].FaultWallSeconds != rows[j].FaultWallSeconds {
+			return rows[i].FaultWallSeconds > rows[j].FaultWallSeconds
+		}
+		if rows[i].WallSeconds != rows[j].WallSeconds {
+			return rows[i].WallSeconds > rows[j].WallSeconds
+		}
+		return rows[i].Worker < rows[j].Worker
+	})
+	return rows
 }
 
 // criticalPath follows, from the root down, the child that finishes last —
@@ -483,7 +545,8 @@ func slowestAttempts(tasks []*span, topK int) []AttemptRow {
 	rows := make([]AttemptRow, 0, len(sorted))
 	for _, t := range sorted {
 		row := AttemptRow{Job: t.name, Phase: t.phase, Task: t.taskStr(),
-			Seconds: t.realS, Outcome: t.outcome, StartS: t.beginTS, Retries: t.retries}
+			Seconds: t.realS, Outcome: t.outcome, Worker: t.worker,
+			StartS: t.beginTS, Retries: t.retries}
 		for _, p := range t.points {
 			if p.Point == "straggler" {
 				row.Straggle += p.Seconds

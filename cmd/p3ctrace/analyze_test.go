@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"math"
+	"os"
 	"regexp"
 	"strconv"
 	"testing"
@@ -213,6 +214,101 @@ func TestAnalyzeReconcilesWithLiveSinks(t *testing.T) {
 	for _, want := range []string{"critical path", "skew (job/phase)", "retry waste (job)", "slowest attempts"} {
 		if !bytes.Contains(txt.Bytes(), []byte(want)) {
 			t.Errorf("text output missing %q section", want)
+		}
+	}
+}
+
+// TestMain lets this test binary serve as a multiprocess-backend worker
+// when the worker-attribution test below re-execs it.
+func TestMain(m *testing.M) {
+	mr.MaybeWorkerProcess()
+	os.Exit(m.Run())
+}
+
+func init() {
+	mr.RegisterJobImpl("trace-wordcount", func(spec []byte) (mr.JobFuncs, error) {
+		return mr.JobFuncs{
+			Mapper: mr.MapperFunc(func(ctx *mr.TaskContext, global int, row []float64) error {
+				ctx.EmitI64(strconv.Itoa(int(row[0])%13), 1)
+				return nil
+			}),
+			TypedReducer: mr.TypedReducerFunc(func(ctx *mr.TaskContext, key string, values mr.Values) error {
+				var s int64
+				for i := 0; i < values.Len(); i++ {
+					s += values.Int64(i)
+				}
+				ctx.EmitI64(key, s)
+				return nil
+			}),
+		}, nil
+	})
+}
+
+// TestAnalyzeWorkerAttribution pins the per-worker view of a multiprocess
+// trace: every task attempt span carries the worker process it ran on, the
+// worker table partitions the run's attempts and faults exactly, and
+// faulted (SIGKILLed) attempts are attributed to the worker that died.
+func TestAnalyzeWorkerAttribution(t *testing.T) {
+	rows := make([]float64, 600)
+	for i := range rows {
+		rows[i] = float64(i)
+	}
+	splits := make([]*mr.Split, 6)
+	for s := range splits {
+		splits[s] = &mr.Split{ID: s, Offset: s * 100, Dim: 1, Rows: rows[s*100 : (s+1)*100]}
+	}
+	job := &mr.Job{Name: "trace-wc", Splits: splits, Impl: "trace-wordcount", NumReducers: 3}
+
+	var buf bytes.Buffer
+	jsonl := obs.NewJSONLTracer(&buf)
+	engine := mr.NewEngine(mr.Config{
+		Parallelism: 4, Backend: "multiprocess", SpillDir: t.TempDir(), SpillThresholdBytes: 1,
+		Faults:      mr.RateFaultPlan{MapRate: 0.4, ReduceRate: 0.4, Seed: 3},
+		MaxAttempts: 12, Tracer: jsonl,
+	})
+	out, err := engine.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jsonl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if out.Counters.TaskRetries == 0 {
+		t.Fatal("fault plan injected no retries — attribution untested")
+	}
+
+	spans, roots, events, err := parseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := analyze(spans, roots, events, 10)
+	if len(a.Runs) != 1 {
+		t.Fatalf("analysis found %d roots, want 1", len(a.Runs))
+	}
+	run := a.Runs[0]
+	if len(run.Workers) == 0 {
+		t.Fatal("multiprocess trace produced no worker rows")
+	}
+	attempts, faults := 0, 0
+	for _, w := range run.Workers {
+		if w.Worker == "" || w.Attempts == 0 {
+			t.Errorf("implausible worker row %+v", w)
+		}
+		attempts += w.Attempts
+		faults += w.Faults
+	}
+	if attempts != run.TaskAttempts {
+		t.Errorf("worker rows cover %d attempts, run has %d", attempts, run.TaskAttempts)
+	}
+	if faults != run.Faults {
+		t.Errorf("worker rows cover %d faults, run has %d", faults, run.Faults)
+	}
+	if faults == 0 {
+		t.Error("no fault attributed to any worker despite injected kills")
+	}
+	for _, s := range run.Slowest {
+		if s.Worker == "" {
+			t.Errorf("slowest attempt %+v lacks worker attribution", s)
 		}
 	}
 }

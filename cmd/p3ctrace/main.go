@@ -151,6 +151,19 @@ func writeRun(w io.Writer, r *RunAnalysis) error {
 		}
 	}
 
+	if len(r.Workers) > 0 {
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "\nworkers\tattempts\tfaults\twall s\tfault wall s\tstraggler s\twasted records")
+		for _, s := range r.Workers {
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%.4f\t%.4f\t%.3f\t%d\n",
+				s.Worker, s.Attempts, s.Faults, s.WallSeconds, s.FaultWallSeconds,
+				s.StragglerSeconds, s.WastedRecords)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+
 	if len(r.Slowest) > 0 {
 		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(tw, "\nslowest attempts\tjob\tphase\ttask\twall s\toutcome\tstraggler s")

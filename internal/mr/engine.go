@@ -53,8 +53,30 @@ type Config struct {
 	// reference can still observe it then yields obviously-corrupt records
 	// instead of stale-but-plausible ones, which the bit-identity chaos
 	// oracles detect — the canary proving the pool lifecycle barriers (see
-	// enginePools). Test/debug knob; leave off otherwise.
+	// enginePools). Test/debug knob; leave off otherwise. The multiprocess
+	// backend forwards the flag to its workers, whose pools poison the same
+	// way.
 	DebugPoisonPools bool
+	// Backend selects the execution backend by name: "" or "inprocess" (the
+	// typed-lane goroutine backend), "multiprocess" (worker OS processes
+	// with disk-spilled shuffle; see backend_multiproc.go), or "simulated"
+	// (single-goroutine sequential reference). All backends produce
+	// bit-identical output, counters and ShuffledBytes for the same job and
+	// fault plan (pinned by the conformance suite).
+	Backend string
+	// SpillDir is where the multiprocess backend creates its per-run spill
+	// directory. Empty means os.TempDir(). Each Run makes (and removes) a
+	// private subdirectory, so concurrent runs never collide.
+	SpillDir string
+	// SpillThresholdBytes caps a multiprocess map worker's in-memory
+	// shuffle buffer: when the buffered record bytes exceed it, every
+	// bucket is spilled to disk as a sorted run and the buffers reset, so
+	// map output never needs to fit in RAM. Zero means 64 MiB; 1 spills
+	// after every record batch ("always spill"); math.MaxInt64 never spills
+	// mid-task (final sorted runs are still written at task commit).
+	// Ignored by the in-process and simulated backends, whose shuffle is
+	// in-memory by design.
+	SpillThresholdBytes int64
 }
 
 // engineMetrics caches the registry handles the engine updates at the end
@@ -93,6 +115,10 @@ type Engine struct {
 	met *engineMetrics
 	// pools recycles typed-plane shuffle buffers across jobs and tasks.
 	pools *enginePools
+	// backend executes the map/shuffle/reduce core (see Backend); backendErr
+	// defers an unknown-name error from NewEngine to the first Run.
+	backend    Backend
+	backendErr error
 	// TotalSimulated accumulates simulated seconds across all jobs run on
 	// this engine, so a pipeline can report an end-to-end modeled runtime.
 	mu             sync.Mutex
@@ -101,6 +127,9 @@ type Engine struct {
 	totals         Counters
 	totalsWasted   Counters
 	perJob         map[string]*JobStats
+	// lastProc holds the most recent multiprocess Run's process/spill
+	// statistics (nil until a multiprocess job ran); see LastProcStats.
+	lastProc *ProcStats
 }
 
 // JobStats accumulates per-job-name statistics across an engine's lifetime
@@ -126,10 +155,19 @@ func NewEngine(cfg Config) *Engine {
 		cfg.MaxAttempts = 4
 	}
 	e := &Engine{cfg: cfg, sem: make(chan struct{}, cfg.Parallelism), pools: newEnginePools(cfg.DebugPoisonPools)}
+	e.backend, e.backendErr = pickBackend(cfg.Backend)
 	if cfg.Metrics != nil {
 		e.met = newEngineMetrics(cfg.Metrics)
 	}
 	return e
+}
+
+// BackendName reports which backend this engine executes jobs on.
+func (e *Engine) BackendName() string {
+	if e.backend == nil {
+		return e.cfg.Backend
+	}
+	return e.backend.Name()
 }
 
 // Default returns an engine with library defaults, suitable for tests and
@@ -228,6 +266,13 @@ func cancelled(cancel <-chan struct{}) bool {
 
 // Run executes the job and collects its output.
 func (e *Engine) Run(job *Job) (*Output, error) {
+	if e.backendErr != nil {
+		return nil, e.backendErr
+	}
+	job, rerr := resolveJob(job)
+	if rerr != nil {
+		return nil, rerr
+	}
 	if job.Mapper == nil && job.NewMapper == nil {
 		return nil, fmt.Errorf("mr: job %q has no mapper", job.Name)
 	}
@@ -281,168 +326,19 @@ func (e *Engine) Run(job *Job) (*Output, error) {
 		cancelOnce.Do(func() { close(cancelCh) })
 	}
 
-	// --- Map phase -----------------------------------------------------------
-	// Lock-free collection: every map task owns one slot of mapStates /
-	// mapCounters (single writer per slot, synchronized by wg.Wait's
-	// happens-before edge), so the shuffle needs no global mutex. Task i's
-	// slot holds its typed output pre-partitioned into per-reducer buffers
-	// plus the task-local key table (see plane.go).
-	mapStates := make([]*mapState, len(job.Splits))
-	mapCounters := make([]Counters, len(job.Splits))
-	mapFaults := make([]faultCharge, len(job.Splits))
-	var wg sync.WaitGroup
-
-mapLaunch:
-	for i, split := range job.Splits {
-		select {
-		case <-cancelCh:
-			break mapLaunch
-		case e.sem <- struct{}{}:
-		}
-		wg.Add(1)
-		go func(i int, split *Split) {
-			defer wg.Done()
-			defer func() { <-e.sem }()
-			st, c, fc, err := e.runMapTask(job, split, mapOnly, nb, numReducers, jobSpan, cancelCh)
-			mapFaults[i] = fc
-			if err != nil {
-				if !errors.Is(err, errTaskCancelled) {
-					setErr(fmt.Errorf("mr: job %q map task %d: %w", job.Name, split.ID, err))
-				}
-				return
-			}
-			mapStates[i] = st
-			mapCounters[i] = c
-		}(i, split)
+	// The map/shuffle/reduce core is delegated to the configured backend
+	// (in-process goroutines by default; see Backend). firstErr is read only
+	// after a phase barrier (wg.Wait), which is what makes the unlocked read
+	// safe — the same discipline the pre-seam engine used.
+	rc := &runContext{
+		e: e, job: job, mapOnly: mapOnly, nb: nb, numReducers: numReducers,
+		jobSpan: jobSpan, cancelCh: cancelCh, setErr: setErr,
+		firstErr: func() error { return firstErr },
 	}
-	wg.Wait()
-	if firstErr != nil {
-		// Committed states of sibling tasks were never merged; recycle them.
-		for _, st := range mapStates {
-			e.pools.putMapState(st)
-		}
-		endJobErr(firstErr)
-		return nil, firstErr
-	}
-
-	var counters Counters
-	var fault faultCharge
-	for i := range mapCounters {
-		counters.Add(mapCounters[i])
-		fault.add(mapFaults[i])
-	}
-
-	var outPairs []Pair
-	if mapOnly {
-		// Map-only jobs materialize the boxed output straight from the task
-		// buffers (bucket 0 holds every record), in split order.
-		total := 0
-		for _, st := range mapStates {
-			total += len(st.buckets[0])
-		}
-		outPairs = make([]Pair, 0, total)
-		for _, st := range mapStates {
-			for i := range st.buckets[0] {
-				rc := &st.buckets[0][i]
-				outPairs = append(outPairs, Pair{Key: st.tab.keys[rc.key], Value: rc.value()})
-			}
-		}
-		// Pairs hold their own boxed values and (immutable) key strings, so
-		// the states can recycle immediately.
-		for _, st := range mapStates {
-			e.pools.putMapState(st)
-		}
-		counters.OutputRecords = int64(len(outPairs))
-	} else {
-		// The shuffle/merge step gets its own span (Task -1, Phase "shuffle")
-		// carrying the job's shuffle volume — mirroring the per-phase
-		// breakdown a Hadoop job page shows.
-		var shufSpan obs.SpanID
-		var shufStart time.Time
-		if tr != nil {
-			shufSpan = obs.NewSpanID()
-			tr.Begin(obs.Start{ID: shufSpan, Parent: jobSpan, Kind: obs.KindTask,
-				Name: job.Name, Task: -1, Phase: "shuffle"})
-			shufStart = obs.Now()
-		}
-
-		// Merge the per-task buffers into one contiguous run per reducer, in
-		// split order: value order within a key is therefore a deterministic
-		// function of the split layout, independent of Parallelism and of
-		// task completion order. mergeShuffle also renumbers record keys into
-		// dense partition-local ids in ascending key order, which is what
-		// lets the reduce side group without touching key strings.
-		sh := e.pools.getShuffle()
-		mergeShuffle(sh, mapStates, nb, numReducers)
-		// The merge copied every record out of the task states; recycle them
-		// before reduce tasks start (the barrier the pool contract names).
-		for _, st := range mapStates {
-			e.pools.putMapState(st)
-		}
-		if tr != nil {
-			tr.End(obs.End{ID: shufSpan, Kind: obs.KindTask, Name: job.Name,
-				Task: -1, Phase: "shuffle", Outcome: obs.OutcomeOK,
-				RealSeconds: obs.Since(shufStart).Seconds(),
-				Counters:    Counters{ShuffledBytes: counters.ShuffledBytes}})
-		}
-
-		// --- Shuffle + reduce phase ------------------------------------------
-		// Same single-writer-per-slot scheme: reducer r writes redOuts[r],
-		// and the final concatenation in reducer order keeps job output
-		// deterministic without a collection mutex. Reduce tasks share the
-		// map tasks' retry budget and cancellation channel: a reduce attempt
-		// re-runs from its immutable partition run (see Reducer contract).
-		redOuts := make([][]Pair, numReducers)
-		redCounters := make([]Counters, numReducers)
-		redFaults := make([]faultCharge, numReducers)
-		var rwg sync.WaitGroup
-	redLaunch:
-		for r := 0; r < numReducers; r++ {
-			if len(sh.runs[r]) == 0 {
-				continue
-			}
-			select {
-			case <-cancelCh:
-				break redLaunch
-			case e.sem <- struct{}{}:
-			}
-			rwg.Add(1)
-			go func(r int, run []rec, keys []string) {
-				defer rwg.Done()
-				defer func() { <-e.sem }()
-				pout, c, fc, err := e.runReduceTask(job, r, run, keys, jobSpan, cancelCh)
-				redFaults[r] = fc
-				if err != nil {
-					if !errors.Is(err, errTaskCancelled) {
-						setErr(fmt.Errorf("mr: job %q reduce task %d: %w", job.Name, r, err))
-					}
-					return
-				}
-				redOuts[r] = pout
-				redCounters[r] = c
-			}(r, sh.runs[r], sh.runKeys[r])
-		}
-		rwg.Wait()
-		// All reduce tasks (and their retries, which re-read the immutable
-		// runs) are finished: the shuffle state can recycle. Reducer output
-		// pairs box their values and reference immutable key strings, so
-		// nothing they hold aliases the recycled buffers.
-		e.pools.putShuffle(sh)
-		if firstErr != nil {
-			endJobErr(firstErr)
-			return nil, firstErr
-		}
-		total := 0
-		for r := range redOuts {
-			counters.Add(redCounters[r])
-			fault.add(redFaults[r])
-			total += len(redOuts[r])
-		}
-		outPairs = make([]Pair, 0, total)
-		for r := range redOuts {
-			outPairs = append(outPairs, redOuts[r]...)
-		}
-		counters.OutputRecords = int64(len(outPairs))
+	outPairs, counters, fault, err := e.backend.execute(rc)
+	if err != nil {
+		endJobErr(err)
+		return nil, err
 	}
 
 	out := &Output{Pairs: outPairs, Counters: counters, Wasted: fault.Wasted}
@@ -520,7 +416,12 @@ func (e *Engine) point(span obs.SpanID, kind obs.PointKind, name string, task, a
 // cancelled, or error. A fault that will be retried additionally emits a
 // PointRetry on the job span; a task that gives up before starting an
 // attempt emits a PointCancel.
+//
+// worker, when non-nil, names the worker process the just-finished attempt
+// ran on (multiprocess backend); it is read after try returns, so the
+// backend can bind a worker per attempt. In-process backends pass nil.
 func runTaskAttempts[T any](e *Engine, job *Job, phase TaskPhase, taskID int, parent obs.SpanID, cancel <-chan struct{},
+	worker func() string,
 	try func(attempt int, span obs.SpanID) (T, Counters, float64, error)) (T, Counters, faultCharge, error) {
 	var zero T
 	var fc faultCharge
@@ -544,6 +445,10 @@ func runTaskAttempts[T any](e *Engine, job *Job, phase TaskPhase, taskID int, pa
 		}
 		out, c, straggler, err := try(attempt, span)
 		fc.Straggler += straggler
+		var onWorker string
+		if tr != nil && worker != nil {
+			onWorker = worker()
+		}
 		if err == nil {
 			c.TaskRetries = retries
 			if tr != nil {
@@ -551,7 +456,7 @@ func runTaskAttempts[T any](e *Engine, job *Job, phase TaskPhase, taskID int, pa
 					Task: taskID, Attempt: attempt, Phase: phase.String(),
 					Outcome:     obs.OutcomeOK,
 					RealSeconds: obs.Since(began).Seconds(), SimulatedSeconds: straggler,
-					Counters: c, Retries: retries})
+					Counters: c, Retries: retries, Worker: onWorker})
 			}
 			return out, c, fc, nil
 		}
@@ -565,7 +470,8 @@ func runTaskAttempts[T any](e *Engine, job *Job, phase TaskPhase, taskID int, pa
 				tr.End(obs.End{ID: span, Kind: obs.KindTask, Name: job.Name,
 					Task: taskID, Attempt: attempt, Phase: phase.String(),
 					Outcome: outcome, Err: err.Error(),
-					RealSeconds: obs.Since(began).Seconds(), SimulatedSeconds: straggler})
+					RealSeconds: obs.Since(began).Seconds(), SimulatedSeconds: straggler,
+					Worker: onWorker})
 			}
 			return zero, Counters{}, fc, err
 		}
@@ -576,7 +482,7 @@ func runTaskAttempts[T any](e *Engine, job *Job, phase TaskPhase, taskID int, pa
 				Task: taskID, Attempt: attempt, Phase: phase.String(),
 				Outcome: obs.OutcomeFault, Err: err.Error(),
 				RealSeconds: obs.Since(began).Seconds(), SimulatedSeconds: straggler,
-				Wasted: c})
+				Wasted: c, Worker: onWorker})
 			if attempt+1 < e.cfg.MaxAttempts {
 				e.point(parent, obs.PointRetry, job.Name, taskID, attempt, phase, 0)
 			}
@@ -593,7 +499,7 @@ func runTaskAttempts[T any](e *Engine, job *Job, phase TaskPhase, taskID int, pa
 // the caller, which recycles it after the merge copies its records out.
 func (e *Engine) runMapTask(job *Job, split *Split, mapOnly bool, nb, numReducers int, jobSpan obs.SpanID, cancel <-chan struct{}) (*mapState, Counters, faultCharge, error) {
 	st := e.pools.getMapState(nb)
-	out, c, fc, err := runTaskAttempts(e, job, PhaseMap, split.ID, jobSpan, cancel, func(attempt int, span obs.SpanID) (*mapState, Counters, float64, error) {
+	out, c, fc, err := runTaskAttempts(e, job, PhaseMap, split.ID, jobSpan, cancel, nil, func(attempt int, span obs.SpanID) (*mapState, Counters, float64, error) {
 		ac, straggler, err := e.tryMapTask(job, split, st, mapOnly, nb, attempt, span, cancel)
 		return st, ac, straggler, err
 	})
@@ -759,7 +665,7 @@ func combineBucket(job *Job, st *mapState, r int, c *Counters) error {
 // nothing outside the task ever sees it.
 func (e *Engine) runReduceTask(job *Job, taskID int, run []rec, keys []string, jobSpan obs.SpanID, cancel <-chan struct{}) ([]Pair, Counters, faultCharge, error) {
 	sc := e.pools.getScratch()
-	out, c, fc, err := runTaskAttempts(e, job, PhaseReduce, taskID, jobSpan, cancel, func(attempt int, span obs.SpanID) ([]Pair, Counters, float64, error) {
+	out, c, fc, err := runTaskAttempts(e, job, PhaseReduce, taskID, jobSpan, cancel, nil, func(attempt int, span obs.SpanID) ([]Pair, Counters, float64, error) {
 		return e.tryReduceTask(job, taskID, run, keys, sc, attempt, span, cancel)
 	})
 	e.pools.putScratch(sc)

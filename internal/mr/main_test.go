@@ -1,0 +1,15 @@
+package mr
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain lets this test binary double as a multiprocess-backend worker:
+// the backend re-execs the current executable, which during tests *is* the
+// test binary. MaybeWorkerProcess never returns in a worker process, so
+// the test suite itself is unaffected.
+func TestMain(m *testing.M) {
+	MaybeWorkerProcess()
+	os.Exit(m.Run())
+}

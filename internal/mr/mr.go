@@ -185,6 +185,13 @@ type Job struct {
 	// phase span, typically). Zero means root; ignored without a
 	// Config.Tracer.
 	TraceParent obs.SpanID
+	// Impl names a registered job implementation (RegisterJobImpl) and Spec
+	// is its opaque parameter blob. When the mapper fields above are nil,
+	// Engine.Run resolves Impl into concrete funcs — on every backend — and
+	// the multiprocess backend *requires* it, because only a registered name
+	// (not a closure) can be shipped to a worker process and resolved there.
+	Impl string
+	Spec []byte
 }
 
 // Output is the collected result of a job.
@@ -286,6 +293,10 @@ type TaskContext struct {
 	counters     *Counters
 	numReducers  int
 	chargeOnEmit bool
+	// trackBuf makes emits maintain ms.bufBytes, the spill-threshold
+	// watermark of the multiprocess backend's map workers. Off (free) for
+	// in-process execution.
+	trackBuf bool
 	// Reduce-side output (nil in map tasks).
 	outPairs *[]Pair
 }
@@ -304,6 +315,9 @@ func (ctx *TaskContext) emitRec(key string, tag valueTag, num uint64, val any) {
 	r := rec{tag: tag, num: num, val: val}
 	if ctx.chargeOnEmit {
 		c.ShuffledBytes += int64(len(key)) + r.bytes()
+	}
+	if ctx.trackBuf {
+		ctx.ms.bufBytes += int64(len(key)) + r.bytes()
 	}
 	id := ctx.ms.tab.intern(key, ctx.numReducers)
 	p := ctx.ms.tab.part[id]

@@ -256,6 +256,11 @@ type mapState struct {
 	// combineOut is the swap buffer of the in-place combiner pass.
 	combineOut []rec
 	sc         groupScratch
+	// bufBytes approximates the buffered record bytes (key + payload, the
+	// ShuffledBytes size rule) — maintained only when the owning
+	// TaskContext sets trackBuf, i.e. by multiprocess map workers deciding
+	// when to spill. The in-process hot path never pays for it.
+	bufBytes int64
 }
 
 // ready sizes the per-partition buffers for nb buckets, reusing capacity.
@@ -287,6 +292,7 @@ func (m *mapState) reset(poison bool) {
 	m.combineOut = m.combineOut[:0]
 	m.tab.reset(poison)
 	m.sc.release(poison)
+	m.bufBytes = 0
 }
 
 // shuffleState is the job-wide merge workspace: the job-global key table,

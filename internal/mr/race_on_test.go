@@ -1,0 +1,11 @@
+//go:build race
+
+package mr
+
+// raceDetectorEnabled reports whether this test binary was built with the
+// race detector. The conformance matrix trims its multiprocess sweep under
+// race: every spawned worker is a race-instrumented process (~0.4 s of
+// startup each), and race coverage targets driver concurrency, which does
+// not vary across spill thresholds — the full value matrix runs in the
+// non-race suite.
+const raceDetectorEnabled = true

@@ -1,0 +1,422 @@
+package mr
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+)
+
+// This file is the worker side of the multiprocess backend: a re-exec'd
+// copy of the current binary (os.Executable) that speaks the wire.go frame
+// protocol over two inherited pipes — fd 3 is the driver→worker control
+// stream, fd 4 the worker→driver result stream. Stdout/stderr stay free, so
+// stray prints from job code cannot corrupt the protocol.
+//
+// The worker is deliberately thin: every scheduling decision — retries,
+// fault decisions, straggler charges, spans — stays in the driver. A worker
+// receives fully-resolved task frames (including the exact record index at
+// which to kill itself) and executes the same record loops as the
+// in-process backend, emitting into the same typed plane. Injected faults
+// become real process deaths: the worker flushes a dying frame carrying the
+// attempt's partial counters, then SIGKILLs itself, giving the driver the
+// exact Wasted accounting of an in-process injected failure plus a genuine
+// process corpse for the chaos harness to audit.
+
+// workerEnv marks a process as an mr worker. MaybeWorkerProcess checks it;
+// the driver sets it on spawned children.
+const workerEnv = "P3CMR_MR_WORKER"
+
+// MaybeWorkerProcess turns the current process into a multiprocess-backend
+// worker if it was spawned as one (workerEnv set), never returning in that
+// case. Binaries that might act as multiprocess drivers — cmd/p3crun, test
+// binaries via TestMain — must call it first thing in main, before flag
+// parsing or any other side effects.
+func MaybeWorkerProcess() {
+	if os.Getenv(workerEnv) == "" {
+		return
+	}
+	ctl := os.NewFile(3, "mr-worker-ctl")
+	res := os.NewFile(4, "mr-worker-res")
+	if ctl == nil || res == nil {
+		fmt.Fprintln(os.Stderr, "mr worker: control fds 3/4 not inherited")
+		os.Exit(2)
+	}
+	if err := runWorker(ctl, res); err != nil {
+		fmt.Fprintf(os.Stderr, "mr worker: %v\n", err)
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+// workerState is one worker process's protocol loop state.
+type workerState struct {
+	br *bufio.Reader
+	bw *bufio.Writer
+	// job is the materialized current job (registry funcs + decoded cache);
+	// jobErr defers an impl-resolution failure to the first task frame, so
+	// it surfaces as a task error instead of a dead worker.
+	job    *Job
+	jobErr error
+	nb     int
+	mapOnly     bool
+	hasCombiner bool
+	spillDir    string
+	spillLimit  int64
+	// spillMid enables threshold-triggered mid-task spills. Combiner jobs
+	// keep their buckets whole (the combiner must see every value of a key
+	// to produce the same post-combine records and ShuffledBytes as the
+	// in-process engine), so they spill only at commit.
+	spillMid bool
+	// pools recycles map states across tasks, mirroring the engine pools —
+	// including poison-on-return when the driver forwards DebugPoisonPools.
+	pools *enginePools
+	// batch is the reduce merge's reused per-key buffer.
+	batch []rec
+}
+
+// runWorker drives the frame loop until shutdown (or driver EOF).
+func runWorker(ctl io.Reader, res io.Writer) error {
+	w := &workerState{
+		br: bufio.NewReaderSize(ctl, 256<<10),
+		bw: bufio.NewWriterSize(res, 256<<10),
+	}
+	if err := w.send(fHello, helloFrame{PID: os.Getpid()}); err != nil {
+		return err
+	}
+	for {
+		typ, data, err := readFrame(w.br)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				// Driver closed the control pipe: clean teardown.
+				return nil
+			}
+			return fmt.Errorf("read control frame: %w", err)
+		}
+		switch typ {
+		case fJob:
+			err = w.setJob(data)
+		case fMapTask:
+			err = w.runMap(data)
+		case fReduceTask:
+			err = w.runReduce(data)
+		case fShutdown:
+			return nil
+		default:
+			err = fmt.Errorf("unexpected control frame 0x%02x", typ)
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// send writes and flushes one result frame. Errors here are protocol
+// errors (driver gone): the worker exits.
+func (w *workerState) send(typ byte, payload any) error {
+	if err := writeFrame(w.bw, typ, payload); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+// sendTaskErr reports a real (non-retryable) task error; the worker stays
+// alive for a potential next job.
+func (w *workerState) sendTaskErr(err error) error {
+	return w.send(fTaskErr, errFrame{Msg: err.Error()})
+}
+
+// die flushes the attempt's partial counters and SIGKILLs this process —
+// the multiprocess realization of an injected task failure. Never returns.
+func (w *workerState) die(c Counters) {
+	_ = writeFrame(w.bw, fDying, dyingFrame{Counters: c})
+	_ = w.bw.Flush()
+	selfKill()
+}
+
+// selfKill delivers SIGKILL to the current process: un-trappable, no
+// deferred functions, no pool returns — a genuine worker death. The spin
+// loop is unreachable in practice (the kill lands inside the syscall) but
+// guarantees no code past the kill point ever runs.
+func selfKill() {
+	if p, err := os.FindProcess(os.Getpid()); err == nil {
+		_ = p.Kill()
+	}
+	for {
+		runtime.Gosched()
+	}
+}
+
+// setJob materializes a job frame: registry funcs, decoded cache, pools.
+func (w *workerState) setJob(data []byte) error {
+	var jf jobFrame
+	if err := decodeFrame(data, &jf); err != nil {
+		return fmt.Errorf("decode job frame: %w", err)
+	}
+	w.job, w.jobErr = nil, nil
+	funcs, err := buildImpl(jf.Impl, jf.Spec)
+	if err != nil {
+		w.jobErr = err
+		return nil
+	}
+	var cache map[string]any
+	if len(jf.CacheKeys) > 0 {
+		cache = make(map[string]any, len(jf.CacheKeys))
+		for i, k := range jf.CacheKeys {
+			v, err := readValue(bytes.NewReader(jf.CacheVals[i]))
+			if err != nil {
+				w.jobErr = fmt.Errorf("decode cache entry %q: %w", k, err)
+				return nil
+			}
+			cache[k] = v
+		}
+	}
+	w.job = &Job{
+		Name:          jf.Name,
+		Mapper:        funcs.Mapper,
+		NewMapper:     funcs.NewMapper,
+		Reducer:       funcs.Reducer,
+		TypedReducer:  funcs.TypedReducer,
+		Combiner:      funcs.Combiner,
+		TypedCombiner: funcs.TypedCombiner,
+		NumReducers:   jf.NumReducers,
+		Cache:         cache,
+	}
+	w.nb = jf.NB
+	w.mapOnly = jf.MapOnly
+	w.hasCombiner = jf.HasCombiner
+	w.spillDir = jf.SpillDir
+	w.spillLimit = jf.SpillLimit
+	w.spillMid = !jf.MapOnly && !jf.HasCombiner
+	w.pools = newEnginePools(jf.Poison)
+	return nil
+}
+
+// runMap executes one map task attempt — the worker-side mirror of
+// tryMapTask, with the same record-loop kill points (before record KillAt,
+// after the last record, before the combiner) and the same counter and
+// ShuffledBytes accounting, plus threshold-triggered spills to disk.
+func (w *workerState) runMap(data []byte) error {
+	var f mapTaskFrame
+	if err := decodeFrame(data, &f); err != nil {
+		return fmt.Errorf("decode map task frame: %w", err)
+	}
+	if w.jobErr != nil {
+		return w.sendTaskErr(w.jobErr)
+	}
+	split := &Split{ID: f.Task, Offset: f.Offset, Dim: f.Dim, Rows: f.Rows}
+	st := w.pools.getMapState(w.nb)
+	defer w.pools.putMapState(st)
+	sw := newSpillWriter(filepath.Join(w.spillDir, fmt.Sprintf("m%d_a%d.spill", f.Task, f.Attempt)))
+	fail := func(err error) error {
+		sw.abort()
+		return w.sendTaskErr(err)
+	}
+
+	var c Counters
+	mapper := w.job.Mapper
+	if w.job.NewMapper != nil {
+		mapper = w.job.NewMapper()
+	}
+	ctx := &TaskContext{
+		JobName:      w.job.Name,
+		TaskID:       f.Task,
+		Split:        split,
+		cache:        w.job.Cache,
+		ms:           st,
+		counters:     &c,
+		numReducers:  w.nb,
+		chargeOnEmit: w.mapOnly || !w.hasCombiner,
+		trackBuf:     w.spillMid,
+	}
+	if err := mapper.Setup(ctx); err != nil {
+		return fail(err)
+	}
+	n := split.NumRows()
+	seq := 0
+	for i := 0; i < n; i++ {
+		if i == f.KillAt {
+			w.die(c)
+		}
+		c.MapInputRecords++
+		if err := mapper.Map(ctx, split.Offset+i, split.Row(i)); err != nil {
+			return fail(err)
+		}
+		if w.spillMid && st.bufBytes >= w.spillLimit {
+			if err := sw.spillAll(st, seq, true); err != nil {
+				return fail(err)
+			}
+			seq++
+		}
+	}
+	if n == f.KillAt {
+		w.die(c)
+	}
+	if err := mapper.Cleanup(ctx); err != nil {
+		return fail(err)
+	}
+	if w.hasCombiner && !w.mapOnly {
+		if f.CombineKill {
+			w.die(c)
+		}
+		for r := range st.buckets {
+			if err := combineBucket(w.job, st, r, &c); err != nil {
+				return fail(err)
+			}
+		}
+	}
+
+	if w.mapOnly {
+		// Map-only output returns over the wire in emission order (bucket 0
+		// holds every record); nothing touches disk.
+		if err := w.sendBucketPairs(st); err != nil {
+			return err
+		}
+		return w.send(fMapDone, mapDoneFrame{Counters: c})
+	}
+	if err := sw.spillAll(st, seq, false); err != nil {
+		return fail(err)
+	}
+	segs, err := sw.finish()
+	if err != nil {
+		return fail(err)
+	}
+	return w.send(fMapDone, mapDoneFrame{Counters: c, Segments: segs, MidSpills: sw.midSpills})
+}
+
+// pairsChunk bounds one fPairs frame.
+const pairsChunk = 1024
+
+// sendBucketPairs streams a map-only task's bucket 0 as pairs frames.
+func (w *workerState) sendBucketPairs(st *mapState) error {
+	pairs := make([]Pair, 0, pairsChunk)
+	flush := func() error {
+		if len(pairs) == 0 {
+			return nil
+		}
+		data, err := encodePairs(pairs)
+		if err != nil {
+			return w.sendTaskErr(err)
+		}
+		pairs = pairs[:0]
+		return w.send(fPairs, pairsFrame{Data: data})
+	}
+	for i := range st.buckets[0] {
+		r := &st.buckets[0][i]
+		pairs = append(pairs, Pair{Key: st.tab.keys[r.key], Value: r.value()})
+		if len(pairs) == pairsChunk {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+// sendPairs streams a reduce task's committed output.
+func (w *workerState) sendPairs(out []Pair) error {
+	for len(out) > 0 {
+		n := pairsChunk
+		if n > len(out) {
+			n = len(out)
+		}
+		data, err := encodePairs(out[:n])
+		if err != nil {
+			return w.sendTaskErr(err)
+		}
+		if err := w.send(fPairs, pairsFrame{Data: data}); err != nil {
+			return err
+		}
+		out = out[n:]
+	}
+	return nil
+}
+
+// runReduce executes one reduce task attempt: it k-way merges the
+// partition's spill segments (ordered by map task, then spill pass — the
+// in-process value order) and drives the reducer with the same grouping,
+// kill-threshold and counter semantics as tryReduceTask.
+func (w *workerState) runReduce(data []byte) error {
+	var f reduceTaskFrame
+	if err := decodeFrame(data, &f); err != nil {
+		return fmt.Errorf("decode reduce task frame: %w", err)
+	}
+	if w.jobErr != nil {
+		return w.sendTaskErr(w.jobErr)
+	}
+	files := make(map[string]*os.File)
+	defer func() {
+		for _, fl := range files {
+			fl.Close()
+		}
+	}()
+	readers := make([]*segReader, 0, len(f.Segments))
+	for ord, ref := range f.Segments {
+		fl, ok := files[ref.Path]
+		if !ok {
+			var err error
+			fl, err = os.Open(ref.Path)
+			if err != nil {
+				return w.sendTaskErr(err)
+			}
+			files[ref.Path] = fl
+		}
+		r, err := openSegment(fl, ref, ord)
+		if err != nil {
+			return w.sendTaskErr(err)
+		}
+		readers = append(readers, r)
+	}
+
+	var c Counters
+	var out []Pair
+	ctx := &TaskContext{
+		JobName:  w.job.Name,
+		TaskID:   f.Task,
+		cache:    w.job.Cache,
+		outPairs: &out,
+	}
+	// Boxed-compat reducers get a fresh, never-pooled backing array — the
+	// rule the pool-lifecycle audit pinned: state handed to code that may
+	// retain it is freshly allocated; state crossing the process boundary
+	// is serialized, never shared.
+	var backing []any
+	if w.job.Reducer != nil {
+		backing = make([]any, 0, f.TotalRecords)
+	}
+	consumed := 0
+	err := mergeSegments(readers, &w.batch, func(k string, grouped []rec) error {
+		if f.KillAt >= 0 && consumed >= f.KillAt {
+			return errInjectedFailure
+		}
+		consumed += len(grouped)
+		c.ReduceInputKeys++
+		c.ReduceInputVals += int64(len(grouped))
+		if w.job.TypedReducer != nil {
+			return w.job.TypedReducer.ReduceTyped(ctx, k, Values{recs: grouped})
+		}
+		start := len(backing)
+		for i := range grouped {
+			backing = append(backing, grouped[i].value())
+		}
+		return w.job.Reducer.Reduce(ctx, k, backing[start:len(backing):len(backing)])
+	})
+	if err != nil {
+		if errors.Is(err, errInjectedFailure) {
+			w.die(c)
+		}
+		return w.sendTaskErr(err)
+	}
+	if f.KillAt >= 0 && consumed >= f.KillAt {
+		// KillFrac ≈ 1: die after the last key, before committing output.
+		w.die(c)
+	}
+	if err := w.sendPairs(out); err != nil {
+		return err
+	}
+	return w.send(fReduceDone, doneFrame{Counters: c})
+}

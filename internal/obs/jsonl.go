@@ -30,6 +30,7 @@ type jsonlLine struct {
 	SimS    float64   `json:"sim_s,omitempty"`
 	Seconds float64   `json:"seconds,omitempty"`
 	Retries int64     `json:"retries,omitempty"`
+	Worker  string    `json:"worker,omitempty"`
 	Ctrs    *Counters `json:"counters,omitempty"`
 	Wasted  *Counters `json:"wasted,omitempty"`
 }
@@ -116,6 +117,7 @@ func endLine(e End) *jsonlLine {
 		RealS:   e.RealSeconds,
 		SimS:    e.SimulatedSeconds,
 		Retries: e.Retries,
+		Worker:  e.Worker,
 		Ctrs:    ctrPtr(e.Counters),
 		Wasted:  ctrPtr(e.Wasted),
 	}
@@ -131,6 +133,7 @@ func pointLine(p Point) *jsonlLine {
 		Attempt: p.Attempt,
 		Phase:   p.Phase,
 		Seconds: p.Seconds,
+		Worker:  p.Worker,
 	}
 }
 

@@ -171,6 +171,11 @@ type End struct {
 	Wasted Counters
 	// Retries is the number of retried attempts the span absorbed.
 	Retries int64
+	// Worker identifies the worker process that executed a task attempt, for
+	// backends that place attempts on OS processes ("" for in-process
+	// execution). Lets offline analysis attribute straggler and retry waste
+	// to the worker that burned it.
+	Worker string
 }
 
 // Point is an instantaneous event within a span.
@@ -186,6 +191,9 @@ type Point struct {
 	Phase   string
 	// Seconds carries the straggler charge for PointStraggler.
 	Seconds float64
+	// Worker identifies the worker process the event occurred on (see
+	// End.Worker); "" for in-process execution.
+	Worker string
 }
 
 // Tracer receives structured span events. Implementations must be safe for
