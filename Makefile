@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet lint lint-fix-check build test race bench bench-diff chaos chaos-proc trace ops trace-demo ops-demo trace-analyze proc-demo
+.PHONY: ci vet lint lint-fix-check build test race bench bench-diff chaos chaos-proc trace ops ops-proc trace-demo ops-demo trace-analyze proc-demo
 
-ci: vet lint build test race chaos chaos-proc trace ops bench bench-diff
+ci: vet lint build test race chaos chaos-proc trace ops ops-proc bench bench-diff
 
 vet:
 	$(GO) vet ./...
@@ -64,21 +64,29 @@ trace:
 ops:
 	$(GO) test -race -run 'Ops|Flight|Progress|Prometheus|Analyze' ./...
 
+# Worker telemetry plane under the race detector: the multiprocess
+# telemetry/clock-alignment tests, the live ops-server-during-proc-kill-chaos
+# test (pollers on /metrics, /runs, /workers while worker fleets die and
+# respawn), the WorkerStats golden families, and the p3ctrace merge/timeline
+# regressions.
+ops-proc:
+	$(GO) test -race -run 'MultiprocTelemetry|OpsProc|Workers|WorkerTelemetry|ParseTrace|ClassifyAndTimeline' \
+		./internal/mr/ ./internal/obs/ ./cmd/p3ctrace/
+
 # Benchmarks with a machine-readable summary: benchjson tees the raw
-# output through and writes BENCH_PR7.json for cross-PR baseline diffs.
+# output through and writes BENCH_PR8.json for cross-PR baseline diffs.
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x -benchmem ./internal/mr/ \
-		| $(GO) run ./cmd/benchjson -o BENCH_PR7.json
+		| $(GO) run ./cmd/benchjson -o BENCH_PR8.json
 
 # Compare this PR's benchmark baseline against the previous PR's; exits
 # nonzero on a regression beyond the (deliberately loose, -benchtime 1x is
-# noisy) thresholds. The backend seam must not tax the in-process hot
-# path, so the engine micro-benchmarks are held to the same ns/op and
-# allocs/op envelopes as PR 6; the PR 5→6 typed-plane improvement gates
-# (-min-alloc-ratio/-ratio/-faster) were one-time and are not re-applied.
+# noisy) thresholds. The worker telemetry plane is strictly additive — with
+# tracing off the wire format and hot paths are untouched — so the engine
+# micro-benchmarks are held to PR 7's ns/op and allocs/op envelopes.
 bench-diff:
 	$(GO) run ./cmd/benchjson -diff -threshold 0.75 -alloc-threshold 0.25 \
-		BENCH_PR6.json BENCH_PR7.json
+		BENCH_PR7.json BENCH_PR8.json
 
 # End-to-end trace demo: generate a small data set, cluster it with
 # tracing, the per-job report, and the cost model enabled, then show the

@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
@@ -82,6 +84,7 @@ func main() {
 		collector *obs.ReportCollector
 		registry  *obs.Registry
 		progress  *obs.Progress
+		workers   *obs.WorkerStats
 		flight    *obs.FlightRecorder
 		ops       *obs.OpsServer
 	)
@@ -120,6 +123,8 @@ func main() {
 			progress = obs.NewProgress()
 			progress.SetPhasePlan("p3c-pipeline", paramsFor(alg).PhasePlan())
 			tracers = append(tracers, progress)
+			workers = obs.NewWorkerStats()
+			tracers = append(tracers, workers)
 		}
 		if *flightN > 0 {
 			flight = obs.NewFlightRecorder(*flightN)
@@ -139,12 +144,42 @@ func main() {
 	}
 	if *opsAddr != "" {
 		var err error
-		ops, err = obs.StartOps(*opsAddr, registry, progress)
+		ops, err = obs.StartOps(*opsAddr, registry, progress, workers)
 		if err != nil {
 			fatal(err)
 		}
 		defer ops.Close()
 		fmt.Fprintf(os.Stderr, "ops server listening on http://%s\n", ops.Addr())
+	}
+	if flight != nil {
+		// An interrupted chaos run is exactly when the post-mortem matters:
+		// dump the recorder on SIGINT/SIGTERM, not just on permanent failure
+		// or clean exit.
+		sigCh := make(chan os.Signal, 1)
+		signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			sig := <-sigCh
+			signal.Stop(sigCh)
+			dst := io.Writer(os.Stderr)
+			where := "stderr"
+			if *flightOut != "" {
+				if f, err := os.Create(*flightOut); err == nil {
+					defer f.Close()
+					dst = f
+					where = *flightOut
+				}
+			}
+			if err := flight.Dump(dst); err != nil {
+				fmt.Fprintf(os.Stderr, "p3crun: flight dump on %v: %v\n", sig, err)
+			} else {
+				fmt.Fprintf(os.Stderr, "p3crun: interrupted by %v; flight dump written to %s\n", sig, where)
+			}
+			code := 130
+			if sig == syscall.SIGTERM {
+				code = 143
+			}
+			os.Exit(code)
+		}()
 	}
 	// finishObs flushes the trace file and prints the report and metrics
 	// snapshot (when requested). Shared by the demo, JSON and text paths.

@@ -29,10 +29,11 @@ type traceEvent struct {
 	RealS   float64       `json:"real_s"`
 	SimS    float64       `json:"sim_s"`
 	Seconds float64       `json:"seconds"`
-	Retries int64         `json:"retries"`
-	Worker  string        `json:"worker"`
-	Ctrs    *obs.Counters `json:"counters"`
-	Wasted  *obs.Counters `json:"wasted"`
+	Retries int64               `json:"retries"`
+	Worker  string              `json:"worker"`
+	Sample  *obs.ResourceSample `json:"sample"`
+	Ctrs    *obs.Counters       `json:"counters"`
+	Wasted  *obs.Counters       `json:"wasted"`
 }
 
 // span is one reconstructed trace span.
@@ -100,6 +101,8 @@ type RunAnalysis struct {
 	Stragglers       []StragglerRow `json:"stragglers,omitempty"`
 	RetryWaste       []WasteRow     `json:"retry_waste,omitempty"`
 	Workers          []WorkerRow    `json:"workers,omitempty"`
+	Classified       []ClassifyRow  `json:"classified,omitempty"`
+	Timeline         []TimelineRow  `json:"timeline,omitempty"`
 	Slowest          []AttemptRow   `json:"slowest,omitempty"`
 }
 
@@ -116,6 +119,50 @@ type WorkerRow struct {
 	FaultWallSeconds float64 `json:"fault_wall_s"`
 	StragglerSeconds float64 `json:"straggler_s"`
 	WastedRecords    int64   `json:"wasted_records"`
+
+	// Telemetry-derived fields, present when the trace carries worker
+	// resource samples and step spans (multiprocess backend with tracing).
+	Samples        int                `json:"samples,omitempty"`
+	CPUSeconds     float64            `json:"cpu_s,omitempty"`
+	Utilization    float64            `json:"utilization,omitempty"` // ΔCPU/Δwall over the sampled window
+	PeakRSSBytes   int64              `json:"peak_rss_b,omitempty"`
+	PeakQueueBytes int64              `json:"peak_queue_b,omitempty"`
+	SpillBytes     int64              `json:"spill_b,omitempty"` // high-water spill-dir bytes
+	StepSeconds    map[string]float64 `json:"step_s,omitempty"`  // per step name ("map-exec", …)
+}
+
+// ClassifyRow labels one slow task attempt. A straggler is "skewed" when it
+// consumed disproportionately many input records (data skew — the paper's
+// reducer-key-skew concern), "starved" when its worker's CPU utilization was
+// low over the sampled window (contended host or backpressure), and
+// "unknown" otherwise.
+type ClassifyRow struct {
+	Job         string  `json:"job"`
+	Phase       string  `json:"phase"`
+	Task        string  `json:"task"`
+	Worker      string  `json:"worker,omitempty"`
+	Seconds     float64 `json:"seconds"`
+	MedianS     float64 `json:"median_s"`
+	InputRatio  float64 `json:"input_ratio"` // attempt records / group median records
+	Utilization float64 `json:"utilization"`
+	Class       string  `json:"class"` // "skewed" | "starved" | "unknown"
+}
+
+// TimelineRow is one worker's occupancy lane: the closed task attempts it
+// ran, in start order. Rendered by -timeline against the driver critical
+// path.
+type TimelineRow struct {
+	Worker    string     `json:"worker"`
+	Intervals []Interval `json:"intervals"`
+}
+
+// Interval is one task attempt on a timeline lane.
+type Interval struct {
+	StartS  float64 `json:"start_s"`
+	EndS    float64 `json:"end_s"`
+	Phase   string  `json:"phase"`
+	Task    string  `json:"task"`
+	Outcome string  `json:"outcome"`
 }
 
 // CPStep is one hop of the critical path: the chain of last-finishing
@@ -195,6 +242,7 @@ type AttemptRow struct {
 // parseTrace reads a JSONL trace and reconstructs the span forest.
 func parseTrace(r io.Reader) (spans map[int64]*span, roots []*span, events int, err error) {
 	spans = make(map[int64]*span)
+	var pending []*traceEvent
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 	lineNo := 0
@@ -211,12 +259,24 @@ func parseTrace(r io.Reader) (spans map[int64]*span, roots []*span, events int, 
 		events++
 		switch ev.Ev {
 		case "begin":
-			s := &span{id: ev.ID, parent: ev.Parent, kind: ev.Kind, name: ev.Name,
-				attempt: ev.Attempt, phase: ev.Phase, beginTS: ev.TS}
+			// Merge into an existing span rather than replace it: a flight
+			// dump writes evicted critical events (often ends) before the
+			// ring window, so this begin may follow its own end. Replacing
+			// would drop the end's outcome and detach the span.
+			s := spans[ev.ID]
+			if s == nil {
+				s = &span{id: ev.ID}
+				spans[ev.ID] = s
+			}
+			s.parent = ev.Parent
+			s.kind = ev.Kind
+			s.name = ev.Name
+			s.attempt = ev.Attempt
+			s.phase = ev.Phase
+			s.beginTS = ev.TS
 			if ev.Task != nil {
 				s.task = *ev.Task
 			}
-			spans[ev.ID] = s
 		case "end":
 			s := spans[ev.ID]
 			if s == nil {
@@ -244,16 +304,21 @@ func parseTrace(r io.Reader) (spans map[int64]*span, roots []*span, events int, 
 				s.wasted = *ev.Wasted
 			}
 		case "point":
-			if s := spans[ev.Span]; s != nil {
-				e := ev
-				s.points = append(s.points, &e)
-			}
+			// Defer attachment until the whole file is read: a merged
+			// multiprocess trace may place a point before its span's begin.
+			e := ev
+			pending = append(pending, &e)
 		default:
 			return nil, nil, events, fmt.Errorf("line %d: unknown event %q", lineNo, ev.Ev)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, nil, events, err
+	}
+	for _, p := range pending {
+		if s := spans[p.Span]; s != nil {
+			s.points = append(s.points, p)
+		}
 	}
 	ids := make([]int64, 0, len(spans))
 	for id := range spans {
@@ -310,9 +375,21 @@ func analyzeRun(root *span, topK int) RunAnalysis {
 		}
 		return wr
 	}
+	type sampleAt struct{ ts, cpu float64 }
+	samples := make(map[string][]sampleAt)
 	var walk func(s *span)
 	walk = func(s *span) {
 		switch s.kind {
+		case "step":
+			// Worker-side sub-phase (map-exec, spill-write, …): charge its
+			// wall time to the worker, never to the task-attempt counts.
+			if s.worker != "" && s.closed {
+				wr := workerRow(s.worker)
+				if wr.StepSeconds == nil {
+					wr.StepSeconds = make(map[string]float64)
+				}
+				wr.StepSeconds[s.name] += s.realS
+			}
 		case "phase":
 			row := PhaseRow{Name: s.name, WallSeconds: s.realS, SimulatedSeconds: s.simS,
 				MapIn: s.counters.MapInputRecords, ShuffledBytes: s.counters.ShuffledBytes,
@@ -374,6 +451,22 @@ func analyzeRun(root *span, topK int) RunAnalysis {
 				}
 			case "cancel":
 				ra.Cancels++
+			case "sample":
+				if p.Worker == "" || p.Sample == nil {
+					break
+				}
+				wr := workerRow(p.Worker)
+				wr.Samples++
+				if p.Sample.RSSBytes > wr.PeakRSSBytes {
+					wr.PeakRSSBytes = p.Sample.RSSBytes
+				}
+				if p.Sample.QueueBytes > wr.PeakQueueBytes {
+					wr.PeakQueueBytes = p.Sample.QueueBytes
+				}
+				if p.Sample.SpillBytes > wr.SpillBytes {
+					wr.SpillBytes = p.Sample.SpillBytes
+				}
+				samples[p.Worker] = append(samples[p.Worker], sampleAt{p.TS, p.Sample.CPUSeconds})
 			}
 		}
 		for _, c := range s.children {
@@ -382,13 +475,144 @@ func analyzeRun(root *span, topK int) RunAnalysis {
 	}
 	walk(root)
 
+	// Per-worker utilization: ΔCPU over Δwall across the sampled window.
+	names := make([]string, 0, len(samples))
+	for n := range samples {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ss := samples[n]
+		sort.Slice(ss, func(i, j int) bool { return ss[i].ts < ss[j].ts })
+		wr := workers[n]
+		wr.CPUSeconds = ss[len(ss)-1].cpu
+		if dt := ss[len(ss)-1].ts - ss[0].ts; len(ss) >= 2 && dt > 0 {
+			wr.Utilization = (ss[len(ss)-1].cpu - ss[0].cpu) / dt
+		}
+	}
+
 	ra.CriticalPath = criticalPath(root)
 	ra.Skew = skewRows(tasks)
 	ra.Stragglers = sortedStragglers(straggle)
 	ra.RetryWaste = sortedWaste(waste)
 	ra.Workers = sortedWorkers(workers)
+	ra.Classified = classifyRows(tasks, workers)
+	ra.Timeline = timelineRows(tasks)
 	ra.Slowest = slowestAttempts(tasks, topK)
 	return ra
+}
+
+// slowFactor is the straggler threshold: an attempt is slow when its wall
+// time is at least this multiple of its (job, phase) group median. The same
+// factor flags data skew on the input-ratio axis.
+const slowFactor = 1.5
+
+// classifyRows flags attempts ≥ slowFactor× their group median and labels
+// each as skewed / starved / unknown (see ClassifyRow). Groups with fewer
+// than two attempts have no meaningful median and are skipped.
+func classifyRows(tasks []*span, workers map[string]*WorkerRow) []ClassifyRow {
+	groups := make(map[jobPhaseKey][]*span)
+	for _, t := range tasks {
+		k := jobPhaseKey{t.name, t.phase}
+		groups[k] = append(groups[k], t)
+	}
+	keys := make([]jobPhaseKey, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].job != keys[j].job {
+			return keys[i].job < keys[j].job
+		}
+		return keys[i].phase < keys[j].phase
+	})
+	var rows []ClassifyRow
+	for _, k := range keys {
+		g := groups[k]
+		if len(g) < 2 {
+			continue
+		}
+		durs := make([]float64, len(g))
+		recs := make([]float64, len(g))
+		for i, t := range g {
+			durs[i] = t.realS
+			recs[i] = float64(t.counters.MapInputRecords + t.counters.ReduceInputVals)
+		}
+		sort.Float64s(durs)
+		sort.Float64s(recs)
+		med := quantileOf(durs, 0.5)
+		medRec := quantileOf(recs, 0.5)
+		if med <= 0 {
+			continue
+		}
+		for _, t := range g {
+			if t.realS < slowFactor*med {
+				continue
+			}
+			row := ClassifyRow{Job: k.job, Phase: k.phase, Task: t.taskStr(),
+				Worker: t.worker, Seconds: t.realS, MedianS: med}
+			if medRec > 0 {
+				row.InputRatio = float64(t.counters.MapInputRecords+t.counters.ReduceInputVals) / medRec
+			}
+			var util float64
+			nSamples := 0
+			if wr := workers[t.worker]; wr != nil {
+				util, nSamples = wr.Utilization, wr.Samples
+			}
+			row.Utilization = util
+			switch {
+			case row.InputRatio >= slowFactor:
+				row.Class = "skewed"
+			case nSamples >= 2 && util < 0.5:
+				row.Class = "starved"
+			default:
+				row.Class = "unknown"
+			}
+			rows = append(rows, row)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Seconds != rows[j].Seconds {
+			return rows[i].Seconds > rows[j].Seconds
+		}
+		if rows[i].Job != rows[j].Job {
+			return rows[i].Job < rows[j].Job
+		}
+		return rows[i].Task < rows[j].Task
+	})
+	return rows
+}
+
+// timelineRows builds one occupancy lane per worker from its closed task
+// attempts.
+func timelineRows(tasks []*span) []TimelineRow {
+	byWorker := make(map[string][]Interval)
+	for _, t := range tasks {
+		if t.worker == "" || !t.closed {
+			continue
+		}
+		byWorker[t.worker] = append(byWorker[t.worker], Interval{
+			StartS: t.beginTS, EndS: t.endTS, Phase: t.phase,
+			Task: t.taskStr(), Outcome: t.outcome,
+		})
+	}
+	names := make([]string, 0, len(byWorker))
+	for n := range byWorker {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	rows := make([]TimelineRow, 0, len(names))
+	for _, n := range names {
+		iv := byWorker[n]
+		sort.Slice(iv, func(i, j int) bool {
+			if iv[i].StartS != iv[j].StartS {
+				return iv[i].StartS < iv[j].StartS
+			}
+			return iv[i].EndS < iv[j].EndS
+		})
+		rows = append(rows, TimelineRow{Worker: n, Intervals: iv})
+	}
+	return rows
 }
 
 // sortedWorkers orders worker rows by fault wall time (the waste a bad

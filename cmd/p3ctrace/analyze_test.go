@@ -208,7 +208,7 @@ func TestAnalyzeReconcilesWithLiveSinks(t *testing.T) {
 
 	// The text renderer must handle the full analysis without error.
 	var txt bytes.Buffer
-	if err := writeText(&txt, a); err != nil {
+	if err := writeText(&txt, a, true); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"critical path", "skew (job/phase)", "retry waste (job)", "slowest attempts"} {

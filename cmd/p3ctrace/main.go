@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	p3ctrace [-json] [-top K] trace.jsonl
+//	p3ctrace [-json] [-top K] [-timeline] trace.jsonl
 //	p3crun ... -trace /dev/stdout | p3ctrace -
 package main
 
@@ -15,12 +15,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"text/tabwriter"
 )
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit the full analysis as JSON")
 	topK := flag.Int("top", 10, "how many slowest task attempts to list")
+	timeline := flag.Bool("timeline", false, "render a worker-occupancy gantt against the driver critical path")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: p3ctrace [flags] trace.jsonl\n")
 		flag.PrintDefaults()
@@ -60,23 +62,23 @@ func main() {
 		}
 		return
 	}
-	if err := writeText(os.Stdout, a); err != nil {
+	if err := writeText(os.Stdout, a, *timeline); err != nil {
 		fmt.Fprintf(os.Stderr, "p3ctrace: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func writeText(w io.Writer, a *Analysis) error {
+func writeText(w io.Writer, a *Analysis, timeline bool) error {
 	fmt.Fprintf(w, "trace: %d events, %d spans, %d root span(s)\n", a.Events, a.Spans, len(a.Runs))
 	for i := range a.Runs {
-		if err := writeRun(w, &a.Runs[i]); err != nil {
+		if err := writeRun(w, &a.Runs[i], timeline); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func writeRun(w io.Writer, r *RunAnalysis) error {
+func writeRun(w io.Writer, r *RunAnalysis, timeline bool) error {
 	fmt.Fprintf(w, "\n=== %s %q: %s, %.3f s wall, %.3f s simulated ===\n",
 		r.Kind, r.Name, r.Outcome, r.WallSeconds, r.SimulatedSeconds)
 	if r.Err != "" {
@@ -164,6 +166,38 @@ func writeRun(w io.Writer, r *RunAnalysis) error {
 		}
 	}
 
+	if hasTelemetry(r.Workers) {
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "\nworker telemetry\tsamples\tcpu s\tutil\tpeak rss B\tpeak queue B\tspill B\tsteps")
+		for _, s := range r.Workers {
+			fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.2f\t%d\t%d\t%d\t%s\n",
+				s.Worker, s.Samples, s.CPUSeconds, s.Utilization,
+				s.PeakRSSBytes, s.PeakQueueBytes, s.SpillBytes, stepSummary(s.StepSeconds))
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+
+	if len(r.Classified) > 0 {
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "\nstragglers classified\ttask\tworker\twall s\tmedian s\tinput ratio\tutil\tclass")
+		for _, c := range r.Classified {
+			fmt.Fprintf(tw, "%s/%s\t%s\t%s\t%.4f\t%.4f\t%.2f\t%.2f\t%s\n",
+				c.Job, c.Phase, c.Task, c.Worker, c.Seconds, c.MedianS,
+				c.InputRatio, c.Utilization, c.Class)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+
+	if timeline {
+		if err := writeTimeline(w, r); err != nil {
+			return err
+		}
+	}
+
 	if len(r.Slowest) > 0 {
 		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(tw, "\nslowest attempts\tjob\tphase\ttask\twall s\toutcome\tstraggler s")
@@ -176,4 +210,127 @@ func writeRun(w io.Writer, r *RunAnalysis) error {
 		}
 	}
 	return nil
+}
+
+// hasTelemetry reports whether any worker row carries sampler- or
+// step-derived data (i.e. the trace came from a telemetry-enabled run).
+func hasTelemetry(rows []WorkerRow) bool {
+	for _, r := range rows {
+		if r.Samples > 0 || len(r.StepSeconds) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// stepSummary renders a worker's per-step seconds as "name=1.2s name=0.3s"
+// in step-name order.
+func stepSummary(steps map[string]float64) string {
+	if len(steps) == 0 {
+		return "-"
+	}
+	names := make([]string, 0, len(steps))
+	for n := range steps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%.3fs", n, steps[n])
+	}
+	return out
+}
+
+// timelineWidth is the column budget of the -timeline gantt.
+const timelineWidth = 64
+
+// writeTimeline renders worker-occupancy lanes against the driver critical
+// path. Lane characters: 'm' map attempt, 'r' reduce attempt, 'x' faulted
+// attempt, 'c' cancelled attempt, '.' idle. The "crit" lane marks each
+// critical-path span with the upper-cased initial of its kind (R un, P hase,
+// J ob, T ask).
+func writeTimeline(w io.Writer, r *RunAnalysis) error {
+	if len(r.Timeline) == 0 {
+		fmt.Fprintln(w, "\ntimeline: no worker-attributed attempts in this trace")
+		return nil
+	}
+	t0, t1 := r.Timeline[0].Intervals[0].StartS, 0.0
+	for _, s := range r.CriticalPath {
+		if s.StartS < t0 {
+			t0 = s.StartS
+		}
+		if s.EndS > t1 {
+			t1 = s.EndS
+		}
+	}
+	for _, lane := range r.Timeline {
+		for _, iv := range lane.Intervals {
+			if iv.StartS < t0 {
+				t0 = iv.StartS
+			}
+			if iv.EndS > t1 {
+				t1 = iv.EndS
+			}
+		}
+	}
+	if t1 <= t0 {
+		t1 = t0 + 1e-9
+	}
+	scale := float64(timelineWidth) / (t1 - t0)
+	col := func(ts float64) int {
+		c := int((ts - t0) * scale)
+		if c < 0 {
+			c = 0
+		}
+		if c > timelineWidth-1 {
+			c = timelineWidth - 1
+		}
+		return c
+	}
+	fill := func(lane []byte, startS, endS float64, ch byte) {
+		lo, hi := col(startS), col(endS)
+		for i := lo; i <= hi; i++ {
+			lane[i] = ch
+		}
+	}
+	blank := func() []byte {
+		lane := make([]byte, timelineWidth)
+		for i := range lane {
+			lane[i] = '.'
+		}
+		return lane
+	}
+
+	fmt.Fprintf(w, "\ntimeline %.3f .. %.3f s (1 col = %.1f ms; m=map r=reduce x=fault c=cancelled)\n",
+		t0, t1, (t1-t0)/float64(timelineWidth)*1000)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	crit := blank()
+	for _, s := range r.CriticalPath {
+		ch := byte('?')
+		if s.Kind != "" {
+			ch = s.Kind[0] &^ 0x20 // upper-case initial
+		}
+		fill(crit, s.StartS, s.EndS, ch)
+	}
+	fmt.Fprintf(tw, "crit\t%s\n", crit)
+	for _, laneRow := range r.Timeline {
+		lane := blank()
+		for _, iv := range laneRow.Intervals {
+			ch := byte('m')
+			switch {
+			case iv.Outcome == "fault":
+				ch = 'x'
+			case iv.Outcome == "cancelled":
+				ch = 'c'
+			case iv.Phase == "reduce":
+				ch = 'r'
+			}
+			fill(lane, iv.StartS, iv.EndS, ch)
+		}
+		fmt.Fprintf(tw, "%s\t%s\n", laneRow.Worker, lane)
+	}
+	return tw.Flush()
 }

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseTraceOutOfOrderMerge pins the merge semantics of parseTrace on
+// traces whose lines arrive out of causal order — the shape a flight-recorder
+// dump produces (evicted critical ends precede the ring window) and a
+// multiprocess merge can produce (a worker step's begin lands after a point
+// on it). Regression: begins used to *replace* an end-synthesized span,
+// dropping its outcome and re-detaching it, and points preceding their
+// span's begin were silently dropped.
+func TestParseTraceOutOfOrderMerge(t *testing.T) {
+	// Lines deliberately scrambled: the task end (id 3) precedes its begin;
+	// the sample point on span 3 precedes span 3's begin; the step span (4)
+	// under the task arrives begin-last.
+	trace := strings.TrimSpace(`
+{"ev":"begin","ts":0,"id":1,"kind":"run","name":"r"}
+{"ev":"begin","ts":0.1,"id":2,"parent":1,"kind":"job","name":"j"}
+{"ev":"end","ts":0.9,"id":3,"kind":"task","name":"j","task":0,"attempt":1,"phase":"map","outcome":"fault","real_s":0.7,"worker":"w1"}
+{"ev":"point","ts":0.5,"span":3,"point":"sample","worker":"w1","sample":{"cpu_s":1.5,"rss_b":1024,"spill_b":10,"queue_b":2}}
+{"ev":"point","ts":0.6,"span":3,"point":"sample","worker":"w1","sample":{"cpu_s":1.6,"rss_b":2048,"spill_b":20,"queue_b":4}}
+{"ev":"end","ts":0.8,"id":4,"parent":3,"kind":"step","name":"map-exec","phase":"map","outcome":"fault","real_s":0.5,"worker":"w1"}
+{"ev":"begin","ts":0.3,"id":4,"parent":3,"kind":"step","name":"map-exec","phase":"map"}
+{"ev":"begin","ts":0.2,"id":3,"parent":2,"kind":"task","name":"j","task":0,"attempt":1,"phase":"map"}
+{"ev":"end","ts":1.0,"id":2,"kind":"job","name":"j","outcome":"ok","real_s":0.9}
+{"ev":"end","ts":1.1,"id":1,"kind":"run","name":"r","outcome":"ok","real_s":1.1}
+`) + "\n"
+
+	spans, roots, events, err := parseTrace(strings.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events != 10 {
+		t.Errorf("parsed %d events, want 10", events)
+	}
+	if len(roots) != 1 {
+		names := make([]string, 0, len(roots))
+		for _, r := range roots {
+			names = append(names, r.kind+":"+r.name)
+		}
+		t.Fatalf("got %d roots (%v), want 1 — out-of-order spans polluted the detached bucket", len(roots), names)
+	}
+
+	task := spans[3]
+	if task.parent != 2 || !task.closed || task.outcome != "fault" || task.worker != "w1" {
+		t.Errorf("task span lost data across out-of-order merge: %+v", task)
+	}
+	if task.beginTS != 0.2 {
+		t.Errorf("task beginTS = %g, want the begin line's 0.2", task.beginTS)
+	}
+	if len(task.points) != 2 {
+		t.Fatalf("task has %d points, want 2 — points before their span's begin were dropped", len(task.points))
+	}
+	step := spans[4]
+	if step.parent != 3 || step.kind != "step" || !step.closed || step.outcome != "fault" {
+		t.Errorf("step span lost data across out-of-order merge: %+v", step)
+	}
+
+	// The analysis over this trace must see the telemetry: worker step
+	// seconds, samples with peaks, and a computed utilization.
+	a := analyze(spans, roots, events, 5)
+	if len(a.Runs) != 1 {
+		t.Fatalf("got %d runs", len(a.Runs))
+	}
+	run := a.Runs[0]
+	if len(run.Workers) != 1 {
+		t.Fatalf("got %d worker rows, want 1", len(run.Workers))
+	}
+	w := run.Workers[0]
+	if w.Worker != "w1" || w.Attempts != 1 || w.Faults != 1 {
+		t.Errorf("worker row = %+v", w)
+	}
+	if w.Samples != 2 || w.PeakRSSBytes != 2048 || w.PeakQueueBytes != 4 || w.SpillBytes != 20 {
+		t.Errorf("sample aggregation wrong: %+v", w)
+	}
+	if w.CPUSeconds != 1.6 {
+		t.Errorf("worker CPU = %g, want last sample's 1.6", w.CPUSeconds)
+	}
+	// ΔCPU/Δwall = (1.6-1.5)/(0.6-0.5) = 1.0
+	if w.Utilization < 0.999 || w.Utilization > 1.001 {
+		t.Errorf("utilization = %g, want 1.0", w.Utilization)
+	}
+	if got := w.StepSeconds["map-exec"]; got != 0.5 {
+		t.Errorf("step seconds = %g, want 0.5", got)
+	}
+	// The step span must not count as a task attempt.
+	if run.TaskAttempts != 1 {
+		t.Errorf("run counts %d task attempts, want 1 (steps must not count)", run.TaskAttempts)
+	}
+}
+
+// TestClassifyAndTimeline pins the straggler classification and the timeline
+// lanes on a synthetic two-worker trace: one attempt is slow because its
+// input is skewed, one is slow on an idle (starved) worker.
+func TestClassifyAndTimeline(t *testing.T) {
+	trace := strings.TrimSpace(`
+{"ev":"begin","ts":0,"id":1,"kind":"run","name":"r"}
+{"ev":"begin","ts":0,"id":2,"parent":1,"kind":"job","name":"j"}
+{"ev":"begin","ts":0,"id":3,"parent":2,"kind":"task","name":"j","task":0,"attempt":1,"phase":"map"}
+{"ev":"end","ts":1,"id":3,"kind":"task","name":"j","task":0,"attempt":1,"phase":"map","outcome":"ok","real_s":1,"worker":"w1","counters":{"mapIn":100}}
+{"ev":"begin","ts":0,"id":4,"parent":2,"kind":"task","name":"j","task":1,"attempt":1,"phase":"map"}
+{"ev":"end","ts":1,"id":4,"kind":"task","name":"j","task":1,"attempt":1,"phase":"map","outcome":"ok","real_s":1,"worker":"w2","counters":{"mapIn":100}}
+{"ev":"begin","ts":1,"id":5,"parent":2,"kind":"task","name":"j","task":2,"attempt":1,"phase":"map"}
+{"ev":"end","ts":5,"id":5,"kind":"task","name":"j","task":2,"attempt":1,"phase":"map","outcome":"ok","real_s":4,"worker":"w1","counters":{"mapIn":400}}
+{"ev":"begin","ts":1,"id":6,"parent":2,"kind":"task","name":"j","task":3,"attempt":1,"phase":"map"}
+{"ev":"end","ts":5,"id":6,"kind":"task","name":"j","task":3,"attempt":1,"phase":"map","outcome":"ok","real_s":4,"worker":"w2","counters":{"mapIn":100}}
+{"ev":"point","ts":1,"span":5,"point":"sample","worker":"w1","sample":{"cpu_s":1.0}}
+{"ev":"point","ts":5,"span":5,"point":"sample","worker":"w1","sample":{"cpu_s":4.8}}
+{"ev":"point","ts":1,"span":6,"point":"sample","worker":"w2","sample":{"cpu_s":1.0}}
+{"ev":"point","ts":5,"span":6,"point":"sample","worker":"w2","sample":{"cpu_s":1.4}}
+{"ev":"end","ts":5,"id":2,"kind":"job","name":"j","outcome":"ok","real_s":5}
+{"ev":"end","ts":5,"id":1,"kind":"run","name":"r","outcome":"ok","real_s":5}
+`) + "\n"
+
+	spans, roots, events, err := parseTrace(strings.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := analyze(spans, roots, events, 5)
+	run := a.Runs[0]
+
+	if len(run.Classified) != 2 {
+		t.Fatalf("classified %d attempts, want 2: %+v", len(run.Classified), run.Classified)
+	}
+	byTask := make(map[string]ClassifyRow)
+	for _, c := range run.Classified {
+		byTask[c.Task] = c
+	}
+	// task 2.1: 400 records vs median 100 → skewed (worker w1 was busy,
+	// util ~0.95, but input ratio dominates).
+	if c := byTask["2.1"]; c.Class != "skewed" || c.Worker != "w1" {
+		t.Errorf("task 2.1 classified %+v, want skewed on w1", c)
+	}
+	// task 3.1: median input but worker w2's CPU barely moved → starved.
+	if c := byTask["3.1"]; c.Class != "starved" || c.Worker != "w2" {
+		t.Errorf("task 3.1 classified %+v, want starved on w2", c)
+	}
+
+	if len(run.Timeline) != 2 {
+		t.Fatalf("timeline has %d lanes, want 2", len(run.Timeline))
+	}
+	if run.Timeline[0].Worker != "w1" || run.Timeline[1].Worker != "w2" {
+		t.Errorf("timeline lanes not sorted by worker: %+v", run.Timeline)
+	}
+	for _, lane := range run.Timeline {
+		if len(lane.Intervals) != 2 {
+			t.Errorf("lane %s has %d intervals, want 2", lane.Worker, len(lane.Intervals))
+		}
+		for i := 1; i < len(lane.Intervals); i++ {
+			if lane.Intervals[i].StartS < lane.Intervals[i-1].StartS {
+				t.Errorf("lane %s intervals not in start order", lane.Worker)
+			}
+		}
+	}
+
+	// The text renderer with the timeline on must include the new sections.
+	var sb strings.Builder
+	if err := writeText(&sb, a, true); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"worker telemetry", "stragglers classified", "timeline", "crit"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q section:\n%s", want, out)
+		}
+	}
+}

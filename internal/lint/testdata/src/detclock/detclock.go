@@ -37,3 +37,52 @@ func goodHandlerParamTime(captured time.Time, linger time.Duration) time.Time {
 }
 
 func work() {}
+
+// --- worker-telemetry idioms (PR 8) ----------------------------------------
+
+// badSamplerLoop is the resource-sampler shape gone wrong: a periodic
+// goroutine stamping its samples straight from the wall clock. Sample
+// timestamps are observability data and must come through obs.Now (workers
+// record seconds against an obs-provided epoch).
+func badSamplerLoop(stop chan struct{}) {
+	tick := time.NewTicker(time.Millisecond) // ticker construction is clock-free
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			_ = time.Now() // want "time.Now outside internal/obs"
+		}
+	}
+}
+
+// goodSamplerInjectedClock is the accepted shape: the telemetry layer hands
+// the sampler an epoch-relative reading function, so the loop itself never
+// touches the clock.
+func goodSamplerInjectedClock(stop chan struct{}, now func() float64, record func(float64)) {
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			record(now())
+		}
+	}
+}
+
+// badClockAlignment reads the driver clock at frame receipt itself instead
+// of taking the receive time as data.
+func badClockAlignment(workerS, helloS float64) time.Time {
+	helloAt := time.Now() // want "time.Now outside internal/obs"
+	return helloAt.Add(time.Duration((workerS - helloS) * float64(time.Second)))
+}
+
+// goodClockAlignment maps worker-monotonic seconds onto driver time purely
+// arithmetically: the (helloAt, helloS) pair arrives as data from the obs
+// layer, so alignment is clock-free and deterministic.
+func goodClockAlignment(helloAt time.Time, helloS, workerS float64) time.Time {
+	return helloAt.Add(time.Duration((workerS - helloS) * float64(time.Second)))
+}

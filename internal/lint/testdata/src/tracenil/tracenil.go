@@ -132,3 +132,49 @@ func (f *fanout) goodSinkFanout(p Point) {
 		f.next.Point(p)
 	}
 }
+
+// --- worker-telemetry idioms (PR 8) ----------------------------------------
+
+// badTelemetryFold decodes a worker telemetry frame and replays it into the
+// span stream without checking that tracing is on: telemetry frames only
+// arrive when a tracer was configured, but the fold must not rely on that
+// wire-level invariant.
+func (e *Engine) badTelemetryFold(points []Point) {
+	for _, p := range points {
+		e.cfg.Tracer.Point(p) // want "call e.cfg.Tracer.Point on a nilable tracing handle"
+	}
+}
+
+// goodTelemetryFold is the driver's accepted shape: hoist the handle, bail
+// once per frame, then replay the whole batch through the non-nil local.
+func (e *Engine) goodTelemetryFold(points []Point) {
+	tr := e.cfg.Tracer
+	if tr == nil {
+		return
+	}
+	for _, p := range points {
+		tr.Point(p)
+	}
+}
+
+// badGuardedGoroutine launches the sampler-flush goroutine under a guard
+// that does not dominate the calls inside it: by the time the goroutine
+// runs, the handle may have been swapped out.
+func (e *Engine) badGuardedGoroutine() {
+	if e.cfg.Tracer != nil {
+		go func() {
+			e.cfg.Tracer.Point(Point{}) // want "call e.cfg.Tracer.Point on a nilable tracing handle"
+		}()
+	}
+}
+
+// goodGoroutineInnerGuard moves the guard inside the goroutine body, where
+// it dominates every call no matter when the goroutine is scheduled.
+func (e *Engine) goodGoroutineInnerGuard() {
+	go func() {
+		if e.cfg.Tracer == nil {
+			return
+		}
+		e.cfg.Tracer.Point(Point{})
+	}()
+}

@@ -52,6 +52,9 @@ type ProcStats struct {
 	MidTaskSpills  int
 	SpilledBytes   int64
 	MergedSegments int
+	// TelemetryEvents counts worker-trace events folded into the driver's
+	// span stream (0 on telemetry-off runs).
+	TelemetryEvents int
 }
 
 // LastProcStats returns the ProcStats of the engine's most recent
@@ -90,6 +93,89 @@ type workerProc struct {
 	dead     bool
 	waitOnce sync.Once
 	waitErr  error
+	// Clock alignment (telemetry runs only): helloAt is the driver time at
+	// which the worker's post-hello TelClock frame arrived; helloMono the
+	// worker-epoch seconds it carried. alignTime maps any worker timestamp
+	// onto the driver clock; the residual error is the one-way pipe latency.
+	helloAt   time.Time
+	helloMono float64
+}
+
+// alignTime maps a worker-epoch timestamp (seconds) onto driver time.
+func (w *workerProc) alignTime(s float64) time.Time {
+	return w.helloAt.Add(time.Duration((s - w.helloMono) * float64(time.Second)))
+}
+
+// readClock consumes the worker's post-hello telemetry frame and records
+// the clock-alignment pair. Only called on telemetry-enabled runs.
+func (w *workerProc) readClock() error {
+	typ, data, err := readFrame(w.br)
+	at := obs.Now()
+	if err != nil {
+		return err
+	}
+	if typ != fTelemetry {
+		return fmt.Errorf("frame 0x%02x after hello, want telemetry clock", typ)
+	}
+	var tf telemetryFrame
+	if err := decodeFrame(data, &tf); err != nil {
+		return err
+	}
+	for _, ev := range tf.Events {
+		if ev.Ev == obs.TelClock {
+			w.helloAt, w.helloMono = at, ev.S
+			return nil
+		}
+	}
+	return errors.New("telemetry clock frame carries no TelClock event")
+}
+
+// emitTelemetry folds one worker telemetry frame into the driver's span
+// stream: begins open KindStep spans under the live attempt span (worker-
+// local IDs remapped to process-unique SpanIDs — the worker's flush
+// discipline guarantees a frame carries complete begin/end sets, so the
+// remap table is per-frame), ends stamp Worker and outcome, points attach
+// to the attempt span. Every timestamp is aligned onto the driver clock, so
+// the sinks see one coherent forest.
+func (p *procRun) emitTelemetry(w *workerProc, span obs.SpanID, task, attempt int, data []byte) error {
+	var tf telemetryFrame
+	if err := decodeFrame(data, &tf); err != nil {
+		return err
+	}
+	tr := p.e.cfg.Tracer
+	if tr == nil {
+		return nil
+	}
+	ids := make(map[int64]obs.SpanID, 4)
+	for i := range tf.Events {
+		ev := &tf.Events[i]
+		switch ev.Ev {
+		case obs.TelBegin:
+			id := obs.NewSpanID()
+			ids[ev.ID] = id
+			tr.Begin(obs.Start{ID: id, Parent: span, Kind: obs.KindStep,
+				Name: ev.Name, Task: task, Attempt: attempt, Phase: ev.Phase,
+				At: w.alignTime(ev.S)})
+		case obs.TelEnd:
+			id, ok := ids[ev.ID]
+			if !ok {
+				continue
+			}
+			tr.End(obs.End{ID: id, Kind: obs.KindStep, Name: ev.Name,
+				Task: task, Attempt: attempt, Phase: ev.Phase,
+				Outcome: obs.Outcome(ev.Outcome), Err: ev.Err,
+				RealSeconds: ev.RealS, Worker: w.name, At: w.alignTime(ev.S)})
+		case obs.TelPoint:
+			tr.Point(obs.Point{Span: span, Kind: obs.PointKind(ev.PKind),
+				Name: p.job.Name, Task: task, Attempt: attempt, Phase: ev.Phase,
+				Seconds: ev.Seconds, Worker: w.name, Sample: ev.Sample,
+				At: w.alignTime(ev.S)})
+		}
+	}
+	p.mu.Lock()
+	p.stats.TelemetryEvents += len(tf.Events)
+	p.mu.Unlock()
+	return nil
 }
 
 // wait reaps the child exactly once.
@@ -115,6 +201,10 @@ type procRun struct {
 	exe         string
 	jf          jobFrame
 	hasCombiner bool
+	// tel enables worker telemetry (driver has a Tracer); telSample is the
+	// sampler cadence shipped to workers via telemetryEnv.
+	tel       bool
+	telSample time.Duration
 
 	mu    sync.Mutex
 	idle  []*workerProc
@@ -135,8 +225,13 @@ func newProcRun(rc *runContext) (*procRun, error) {
 		return nil, fmt.Errorf("mr: multiprocess backend: spill dir: %w", err)
 	}
 	hasCombiner := job.Combiner != nil || job.TypedCombiner != nil
+	telSample := e.cfg.TelemetrySample
+	if telSample <= 0 {
+		telSample = 250 * time.Millisecond
+	}
 	p := &procRun{
 		e: e, job: job, dir: dir, exe: exe, hasCombiner: hasCombiner,
+		tel: e.cfg.Tracer != nil, telSample: telSample,
 		jf: jobFrame{
 			Name:        job.Name,
 			Impl:        job.Impl,
@@ -185,6 +280,9 @@ func (p *procRun) spawn() (*workerProc, error) {
 	}
 	cmd := exec.Command(p.exe)
 	cmd.Env = append(os.Environ(), workerEnv+"=1")
+	if p.tel {
+		cmd.Env = append(cmd.Env, fmt.Sprintf("%s=%d", telemetryEnv, p.telSample.Milliseconds()))
+	}
 	cmd.ExtraFiles = []*os.File{ctlR, resW} // child fds 3, 4
 	cmd.Stdout = io.Discard
 	cmd.Stderr = os.Stderr
@@ -210,6 +308,12 @@ func (p *procRun) spawn() (*workerProc, error) {
 	var hello helloFrame
 	if err == nil {
 		err = decodeFrame(data, &hello)
+	}
+	if err == nil && p.tel {
+		// Telemetry handshake: the worker follows hello with a TelClock
+		// frame; pairing its worker-epoch reading with the driver receive
+		// time calibrates alignTime for every later event.
+		err = w.readClock()
 	}
 	if err != nil {
 		ctlW.Close()
@@ -385,6 +489,11 @@ func (p *procRun) mapAttempt(w *workerProc, split *Split, attempt int, span obs.
 				p.reap(w)
 				return mapResult{}, Counters{}, straggler, fmt.Errorf("mr: worker %s: %w", w.name, err)
 			}
+		case fTelemetry:
+			if err := p.emitTelemetry(w, span, split.ID, attempt, data); err != nil {
+				p.reap(w)
+				return mapResult{}, Counters{}, straggler, fmt.Errorf("mr: worker %s: %w", w.name, err)
+			}
 		case fMapDone:
 			var df mapDoneFrame
 			if err := decodeFrame(data, &df); err != nil {
@@ -481,6 +590,11 @@ func (p *procRun) reduceAttempt(w *workerProc, taskID int, segs []segmentRef, re
 			}
 			pairs, err = decodePairs(pairs, pf.Data)
 			if err != nil {
+				p.reap(w)
+				return nil, Counters{}, straggler, fmt.Errorf("mr: worker %s: %w", w.name, err)
+			}
+		case fTelemetry:
+			if err := p.emitTelemetry(w, span, taskID, attempt, data); err != nil {
 				p.reap(w)
 				return nil, Counters{}, straggler, fmt.Errorf("mr: worker %s: %w", w.name, err)
 			}

@@ -68,6 +68,11 @@ type Config struct {
 	// directory. Empty means os.TempDir(). Each Run makes (and removes) a
 	// private subdirectory, so concurrent runs never collide.
 	SpillDir string
+	// TelemetrySample is the multiprocess backend's worker resource-sampler
+	// cadence. Zero means 250ms. Worker telemetry as a whole rides the
+	// Tracer: with a nil Tracer no telemetry is enabled and the worker wire
+	// stream is byte-identical to a pre-telemetry build.
+	TelemetrySample time.Duration
 	// SpillThresholdBytes caps a multiprocess map worker's in-memory
 	// shuffle buffer: when the buffered record bytes exceed it, every
 	// bucket is spilled to disk as a sorted run and the buffers reset, so

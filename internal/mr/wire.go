@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"p3cmr/internal/obs"
 )
 
 // This file is the multiprocess backend's wire layer: length-prefixed
@@ -56,6 +58,13 @@ const (
 	fTaskErr
 	// fShutdown: driver → worker, clean exit request.
 	fShutdown
+	// fTelemetry: worker → driver, buffered worker-trace events. Sent only
+	// when the driver enabled telemetry (telemetryEnv): once right after
+	// hello (the TelClock alignment reading) and then at task boundaries,
+	// immediately before a done/dying/error frame. Payload telemetryFrame.
+	// Appended after fShutdown so the preceding frame-type bytes — the PR 7
+	// wire format — are untouched.
+	fTelemetry
 )
 
 // maxFrame bounds a frame payload; a length beyond it means a corrupt
@@ -155,6 +164,16 @@ type dyingFrame struct {
 
 type errFrame struct {
 	Msg string
+}
+
+// telemetryFrame carries a worker's drained trace buffer. Timestamps inside
+// the events are worker-epoch seconds; the driver aligns them using the
+// TelClock reading it captured at handshake. No existing frame struct grows
+// a field for telemetry — gob ships a struct's full type descriptor on
+// first encode, so even a zero-valued addition would change the bytes of a
+// telemetry-off stream.
+type telemetryFrame struct {
+	Events []obs.TelemetryEvent
 }
 
 type pairsFrame struct {

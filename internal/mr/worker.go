@@ -9,6 +9,11 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"p3cmr/internal/obs"
 )
 
 // This file is the worker side of the multiprocess backend: a re-exec'd
@@ -30,6 +35,13 @@ import (
 // workerEnv marks a process as an mr worker. MaybeWorkerProcess checks it;
 // the driver sets it on spawned children.
 const workerEnv = "P3CMR_MR_WORKER"
+
+// telemetryEnv enables worker telemetry; its value is the resource-sampler
+// cadence in milliseconds. The driver sets it only when it has a Tracer, so
+// a telemetry-off run never sees the variable, never constructs a tracer,
+// and never writes an fTelemetry frame — the wire stream stays bit-identical
+// to the pre-telemetry protocol.
+const telemetryEnv = "P3CMR_MR_TELEMETRY"
 
 // MaybeWorkerProcess turns the current process into a multiprocess-backend
 // worker if it was spawned as one (workerEnv set), never returning in that
@@ -77,6 +89,14 @@ type workerState struct {
 	pools *enginePools
 	// batch is the reduce merge's reused per-key buffer.
 	batch []rec
+	// tel is the in-worker tracer (nil when the driver did not enable
+	// telemetry — every use is nil-safe); telSample is the sampler cadence.
+	tel       *obs.WorkerTelemetry
+	telSample time.Duration
+	// queued mirrors bw.Buffered() after each frame write: the pipe
+	// backpressure proxy the sampler goroutine reads. Only the protocol
+	// goroutine touches bw itself.
+	queued atomic.Int64
 }
 
 // runWorker drives the frame loop until shutdown (or driver EOF).
@@ -85,8 +105,23 @@ func runWorker(ctl io.Reader, res io.Writer) error {
 		br: bufio.NewReaderSize(ctl, 256<<10),
 		bw: bufio.NewWriterSize(res, 256<<10),
 	}
+	if v := os.Getenv(telemetryEnv); v != "" {
+		w.tel = obs.NewWorkerTelemetry()
+		w.telSample = 250 * time.Millisecond
+		if ms, err := strconv.Atoi(v); err == nil && ms > 0 {
+			w.telSample = time.Duration(ms) * time.Millisecond
+		}
+		defer w.tel.StopSampler()
+	}
 	if err := w.send(fHello, helloFrame{PID: os.Getpid()}); err != nil {
 		return err
+	}
+	if w.tel != nil {
+		// The clock frame right after hello gives the driver one
+		// (worker-seconds, driver-time) pair to align every later timestamp.
+		if err := w.send(fTelemetry, telemetryFrame{Events: []obs.TelemetryEvent{w.tel.Clock()}}); err != nil {
+			return err
+		}
 	}
 	for {
 		typ, data, err := readFrame(w.br)
@@ -121,18 +156,42 @@ func (w *workerState) send(typ byte, payload any) error {
 	if err := writeFrame(w.bw, typ, payload); err != nil {
 		return err
 	}
+	if w.tel != nil {
+		w.queued.Store(int64(w.bw.Buffered()))
+	}
 	return w.bw.Flush()
+}
+
+// flushTelemetry writes the drained trace buffer as one fTelemetry frame,
+// without flushing the pipe — callers follow up with the attempt's boundary
+// frame, whose send flushes both. Flushing only at task boundaries keeps
+// the frame discipline simple (the sampler never touches the pipe) and
+// guarantees the driver only ever sees complete begin/end sets: a hard
+// crash loses the whole unflushed buffer, never half a span.
+func (w *workerState) flushTelemetry() {
+	if w.tel == nil {
+		return
+	}
+	evs := w.tel.Drain()
+	if len(evs) == 0 {
+		return
+	}
+	_ = writeFrame(w.bw, fTelemetry, telemetryFrame{Events: evs})
 }
 
 // sendTaskErr reports a real (non-retryable) task error; the worker stays
 // alive for a potential next job.
 func (w *workerState) sendTaskErr(err error) error {
+	w.tel.AbortOpen(obs.OutcomeError, err.Error())
+	w.flushTelemetry()
 	return w.send(fTaskErr, errFrame{Msg: err.Error()})
 }
 
 // die flushes the attempt's partial counters and SIGKILLs this process —
 // the multiprocess realization of an injected task failure. Never returns.
 func (w *workerState) die(c Counters) {
+	w.tel.AbortOpen(obs.OutcomeFault, "injected failure")
+	w.flushTelemetry()
 	_ = writeFrame(w.bw, fDying, dyingFrame{Counters: c})
 	_ = w.bw.Flush()
 	selfKill()
@@ -193,6 +252,11 @@ func (w *workerState) setJob(data []byte) error {
 	w.spillLimit = jf.SpillLimit
 	w.spillMid = !jf.MapOnly && !jf.HasCombiner
 	w.pools = newEnginePools(jf.Poison)
+	// (Re)start the resource sampler against this job's spill directory. The
+	// sampler writes into the telemetry buffer only; its snapshots reach the
+	// driver with the next task-boundary flush.
+	w.tel.StopSampler()
+	w.tel.StartSampler(w.telSample, jf.SpillDir, w.queued.Load)
 	return nil
 }
 
@@ -233,6 +297,10 @@ func (w *workerState) runMap(data []byte) error {
 		chargeOnEmit: w.mapOnly || !w.hasCombiner,
 		trackBuf:     w.spillMid,
 	}
+	// Telemetry steps: map-exec spans the record loop through the combiner;
+	// each spill pass gets its own overlapping spill-write sibling. Open
+	// steps are closed by AbortOpen on the die/sendTaskErr paths.
+	exec := w.tel.StartStep("map-exec", "map")
 	if err := mapper.Setup(ctx); err != nil {
 		return fail(err)
 	}
@@ -247,9 +315,11 @@ func (w *workerState) runMap(data []byte) error {
 			return fail(err)
 		}
 		if w.spillMid && st.bufBytes >= w.spillLimit {
+			sp := w.tel.StartStep("spill-write", "map")
 			if err := sw.spillAll(st, seq, true); err != nil {
 				return fail(err)
 			}
+			sp.Done()
 			seq++
 		}
 	}
@@ -269,15 +339,20 @@ func (w *workerState) runMap(data []byte) error {
 			}
 		}
 	}
+	exec.Done()
 
 	if w.mapOnly {
 		// Map-only output returns over the wire in emission order (bucket 0
 		// holds every record); nothing touches disk.
+		fe := w.tel.StartStep("frame-encode", "map")
 		if err := w.sendBucketPairs(st); err != nil {
 			return err
 		}
+		fe.Done()
+		w.flushTelemetry()
 		return w.send(fMapDone, mapDoneFrame{Counters: c})
 	}
+	sp := w.tel.StartStep("spill-write", "map")
 	if err := sw.spillAll(st, seq, false); err != nil {
 		return fail(err)
 	}
@@ -285,6 +360,8 @@ func (w *workerState) runMap(data []byte) error {
 	if err != nil {
 		return fail(err)
 	}
+	sp.Done()
+	w.flushTelemetry()
 	return w.send(fMapDone, mapDoneFrame{Counters: c, Segments: segs, MidSpills: sw.midSpills})
 }
 
@@ -389,6 +466,7 @@ func (w *workerState) runReduce(data []byte) error {
 		backing = make([]any, 0, f.TotalRecords)
 	}
 	consumed := 0
+	merge := w.tel.StartStep("segment-merge", "reduce")
 	err := mergeSegments(readers, &w.batch, func(k string, grouped []rec) error {
 		if f.KillAt >= 0 && consumed >= f.KillAt {
 			return errInjectedFailure
@@ -411,12 +489,16 @@ func (w *workerState) runReduce(data []byte) error {
 		}
 		return w.sendTaskErr(err)
 	}
+	merge.Done()
 	if f.KillAt >= 0 && consumed >= f.KillAt {
 		// KillFrac ≈ 1: die after the last key, before committing output.
 		w.die(c)
 	}
+	fe := w.tel.StartStep("frame-encode", "reduce")
 	if err := w.sendPairs(out); err != nil {
 		return err
 	}
+	fe.Done()
+	w.flushTelemetry()
 	return w.send(fReduceDone, doneFrame{Counters: c})
 }

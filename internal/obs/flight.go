@@ -69,13 +69,15 @@ func (f *FlightRecorder) SetDump(open func(run End) (io.WriteCloser, error)) {
 	f.mu.Unlock()
 }
 
-// critical reports whether an event must survive ring eviction: every point
-// event (faults, retries, stragglers, cancels are exactly the PointKinds)
-// and every span that ended in something other than success.
+// critical reports whether an event must survive ring eviction: every
+// fault/retry/straggler/cancel point and every span that ended in something
+// other than success. Periodic resource samples are ordinary activity — a
+// long run emits them forever, so retaining them would unbound the critical
+// list.
 func (e *flightEvent) critical() bool {
 	switch e.ev {
 	case "point":
-		return true
+		return e.point.Kind != PointSample
 	case "end":
 		return e.end.Outcome != OutcomeOK
 	}
@@ -83,11 +85,17 @@ func (e *flightEvent) critical() bool {
 }
 
 // record appends one event to the ring, spilling the evicted event into the
-// critical list when it must be retained. Caller holds f.mu.
-func (f *FlightRecorder) record(e flightEvent) {
+// critical list when it must be retained. at, when non-zero, is the event's
+// aligned capture time (worker telemetry); zero means capture-now. Caller
+// holds f.mu.
+func (f *FlightRecorder) record(e flightEvent, at time.Time) {
 	e.seq = f.seq
 	f.seq++
-	e.ts = Since(f.start).Seconds()
+	if at.IsZero() {
+		e.ts = Since(f.start).Seconds()
+	} else {
+		e.ts = at.Sub(f.start).Seconds()
+	}
 	if len(f.ring) < f.limit {
 		f.ring = append(f.ring, e)
 		return
@@ -102,7 +110,7 @@ func (f *FlightRecorder) record(e flightEvent) {
 // Begin implements Tracer.
 func (f *FlightRecorder) Begin(s Start) {
 	f.mu.Lock()
-	f.record(flightEvent{ev: "begin", start: s})
+	f.record(flightEvent{ev: "begin", start: s}, s.At)
 	f.mu.Unlock()
 }
 
@@ -110,7 +118,7 @@ func (f *FlightRecorder) Begin(s Start) {
 // automatic post-mortem dump.
 func (f *FlightRecorder) End(e End) {
 	f.mu.Lock()
-	f.record(flightEvent{ev: "end", end: e})
+	f.record(flightEvent{ev: "end", end: e}, e.At)
 	dump := f.dump
 	failed := e.Kind == KindRun && e.Outcome != OutcomeOK
 	f.mu.Unlock()
@@ -122,7 +130,7 @@ func (f *FlightRecorder) End(e End) {
 // Point implements Tracer.
 func (f *FlightRecorder) Point(p Point) {
 	f.mu.Lock()
-	f.record(flightEvent{ev: "point", point: p})
+	f.record(flightEvent{ev: "point", point: p}, p.At)
 	f.mu.Unlock()
 }
 

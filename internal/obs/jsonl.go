@@ -29,10 +29,17 @@ type jsonlLine struct {
 	RealS   float64   `json:"real_s,omitempty"`
 	SimS    float64   `json:"sim_s,omitempty"`
 	Seconds float64   `json:"seconds,omitempty"`
-	Retries int64     `json:"retries,omitempty"`
-	Worker  string    `json:"worker,omitempty"`
-	Ctrs    *Counters `json:"counters,omitempty"`
-	Wasted  *Counters `json:"wasted,omitempty"`
+	Retries int64           `json:"retries,omitempty"`
+	Worker  string          `json:"worker,omitempty"`
+	Sample  *ResourceSample `json:"sample,omitempty"`
+	Ctrs    *Counters       `json:"counters,omitempty"`
+	Wasted  *Counters       `json:"wasted,omitempty"`
+
+	// at, when non-zero, is the event's own capture time (Start/End/Point
+	// At): the writer stamps TS from it instead of the write-time clock, so
+	// clock-aligned worker events land at their true position on the
+	// driver's timeline. Unexported — never marshaled.
+	at time.Time
 }
 
 // JSONLTracer writes the event stream as JSON Lines to an io.Writer —
@@ -60,7 +67,11 @@ func (t *JSONLTracer) write(line *jsonlLine) {
 	if t.err != nil {
 		return
 	}
-	line.TS = time.Since(t.start).Seconds()
+	if line.at.IsZero() {
+		line.TS = time.Since(t.start).Seconds()
+	} else {
+		line.TS = line.at.Sub(t.start).Seconds()
+	}
 	b, err := json.Marshal(line)
 	if err != nil {
 		t.err = err
@@ -74,7 +85,7 @@ func (t *JSONLTracer) write(line *jsonlLine) {
 }
 
 func taskPtr(kind SpanKind, task int) *int {
-	if kind != KindTask {
+	if kind != KindTask && kind != KindStep {
 		return nil
 	}
 	return &task
@@ -100,6 +111,7 @@ func beginLine(s Start) *jsonlLine {
 		Task:    taskPtr(s.Kind, s.Task),
 		Attempt: s.Attempt,
 		Phase:   s.Phase,
+		at:      s.At,
 	}
 }
 
@@ -120,6 +132,7 @@ func endLine(e End) *jsonlLine {
 		Worker:  e.Worker,
 		Ctrs:    ctrPtr(e.Counters),
 		Wasted:  ctrPtr(e.Wasted),
+		at:      e.At,
 	}
 }
 
@@ -134,6 +147,8 @@ func pointLine(p Point) *jsonlLine {
 		Phase:   p.Phase,
 		Seconds: p.Seconds,
 		Worker:  p.Worker,
+		Sample:  p.Sample,
+		at:      p.At,
 	}
 }
 

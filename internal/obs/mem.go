@@ -9,7 +9,7 @@ import (
 // access it can structurally validate the captured stream: unique span
 // IDs, every span closed exactly once with matching identity, parents
 // opened before children, and parent kinds strictly shallower than child
-// kinds (run > phase > job > task).
+// kinds (run > phase > job > task > step).
 type MemTracer struct {
 	mu     sync.Mutex
 	starts []Start
@@ -121,8 +121,12 @@ func (m *MemTracer) Validate() error {
 				return fmt.Errorf("obs: span %d (%s %q) has unopened parent %d", s.ID, s.Kind, s.Name, s.Parent)
 			}
 			if parent.Kind >= s.Kind {
-				return fmt.Errorf("obs: span %d (%s %q) nested under %s %q — kinds must nest run→phase→job→task",
+				return fmt.Errorf("obs: span %d (%s %q) nested under %s %q — kinds must nest run→phase→job→task→step",
 					s.ID, s.Kind, s.Name, parent.Kind, parent.Name)
+			}
+			if s.Kind == KindStep && parent.Kind != KindTask {
+				return fmt.Errorf("obs: step span %d %q nested under %s %q — steps attach to task attempts",
+					s.ID, s.Name, parent.Kind, parent.Name)
 			}
 		}
 		open[s.ID] = s

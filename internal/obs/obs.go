@@ -19,7 +19,10 @@
 // Multi fans one event stream out to several sinks.
 package obs
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // SpanID identifies one span. IDs are unique within a process (allocated
 // from one atomic counter); 0 is "no span" and marks a root.
@@ -47,6 +50,11 @@ const (
 	// KindTask is one task attempt (map/reduce), or the job's shuffle/merge
 	// step (Task = -1, Phase = "shuffle").
 	KindTask
+	// KindStep is one sub-phase inside a task attempt — the worker-side
+	// telemetry spans (map-exec, spill-write, segment-merge, frame-encode).
+	// Step spans may overlap as siblings (a spill interleaves with the map
+	// record loop); only the kind nesting is structural.
+	KindStep
 )
 
 // String names the kind.
@@ -60,6 +68,8 @@ func (k SpanKind) String() string {
 		return "job"
 	case KindTask:
 		return "task"
+	case KindStep:
+		return "step"
 	default:
 		return "unknown"
 	}
@@ -111,6 +121,9 @@ const (
 	// PointCancel marks a task giving up before starting an attempt because
 	// its run was cancelled.
 	PointCancel
+	// PointSample carries a periodic worker resource snapshot (Sample is
+	// non-nil); emitted by the multiprocess backend's worker telemetry.
+	PointSample
 )
 
 // String names the point kind.
@@ -124,9 +137,28 @@ func (p PointKind) String() string {
 		return "straggler"
 	case PointCancel:
 		return "cancel"
+	case PointSample:
+		return "sample"
 	default:
 		return "unknown"
 	}
+}
+
+// ResourceSample is one worker-process resource snapshot, taken by the
+// in-worker sampler (stdlib-only: /proc/self/stat, /proc/self/statm, a
+// spill-directory walk, and the framing layer's write-buffer depth).
+// CPUSeconds is cumulative since process start, so a consumer derives
+// utilization from the delta between two samples; the rest are gauges.
+type ResourceSample struct {
+	// CPUSeconds is cumulative user+system CPU time of the worker process.
+	CPUSeconds float64 `json:"cpu_s"`
+	// RSSBytes is the resident set size.
+	RSSBytes int64 `json:"rss_b"`
+	// SpillBytes is the byte total of the worker's spill directory.
+	SpillBytes int64 `json:"spill_b"`
+	// QueueBytes is the result-pipe backpressure proxy: bytes sitting in
+	// the worker's framed write buffer when it last pushed a frame.
+	QueueBytes int64 `json:"queue_b"`
 }
 
 // Start opens a span. All fields are set by the emitting layer; Task,
@@ -143,6 +175,11 @@ type Start struct {
 	Attempt int
 	// Phase is "map", "reduce" or "shuffle" for task spans, "" otherwise.
 	Phase string
+	// At, when non-zero, is the event's capture time — used by the
+	// multiprocess backend to stamp worker-originated events with their
+	// clock-aligned driver time instead of the sink's write time. Zero
+	// means "now" (every sink falls back to its own clock).
+	At time.Time
 }
 
 // End closes a span. It repeats the identity fields of the Start so sinks
@@ -176,6 +213,8 @@ type End struct {
 	// execution). Lets offline analysis attribute straggler and retry waste
 	// to the worker that burned it.
 	Worker string
+	// At, when non-zero, is the aligned capture time (see Start.At).
+	At time.Time
 }
 
 // Point is an instantaneous event within a span.
@@ -194,6 +233,10 @@ type Point struct {
 	// Worker identifies the worker process the event occurred on (see
 	// End.Worker); "" for in-process execution.
 	Worker string
+	// Sample carries the resource snapshot for PointSample, nil otherwise.
+	Sample *ResourceSample
+	// At, when non-zero, is the aligned capture time (see Start.At).
+	At time.Time
 }
 
 // Tracer receives structured span events. Implementations must be safe for

@@ -86,15 +86,18 @@ func promName(n string) string {
 // NewOpsMux builds the ops-plane HTTP handler:
 //
 //	/healthz            liveness probe ("ok")
-//	/metrics            Prometheus text exposition of reg (503 when nil)
+//	/metrics            Prometheus text exposition of reg (503 when nil),
+//	                    followed by the per-worker p3c_worker_* families
+//	                    when a WorkerStats sink is attached
 //	/runs               JSON array of live + recent run progress snapshots
 //	/runs/{id}          one run's snapshot (404 unknown)
+//	/workers            JSON array of per-worker telemetry snapshots
 //	/debug/pprof/...    the standard runtime profiles
 //
-// reg and prog may each be nil; the corresponding endpoints then report
-// 503. The handler only reads snapshots, so it is safe to serve while runs
-// are in flight.
-func NewOpsMux(reg *Registry, prog *Progress) *http.ServeMux {
+// reg, prog and workers may each be nil; the corresponding endpoints then
+// report 503. The handler only reads snapshots, so it is safe to serve
+// while runs are in flight.
+func NewOpsMux(reg *Registry, prog *Progress, workers *WorkerStats) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -107,6 +110,16 @@ func NewOpsMux(reg *Registry, prog *Progress) *http.ServeMux {
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.Snapshot().WritePrometheus(w)
+		if workers != nil {
+			workers.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("GET /workers", func(w http.ResponseWriter, _ *http.Request) {
+		if workers == nil {
+			http.Error(w, "worker telemetry not configured", http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, workers.Snapshot())
 	})
 	mux.HandleFunc("GET /runs", func(w http.ResponseWriter, _ *http.Request) {
 		if prog == nil {
@@ -155,12 +168,12 @@ type OpsServer struct {
 
 // StartOps listens on addr (":0" picks a free port) and serves the ops mux
 // in a background goroutine until Close.
-func StartOps(addr string, reg *Registry, prog *Progress) (*OpsServer, error) {
+func StartOps(addr string, reg *Registry, prog *Progress, workers *WorkerStats) (*OpsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: ops server: %w", err)
 	}
-	s := &OpsServer{ln: ln, srv: &http.Server{Handler: NewOpsMux(reg, prog)}}
+	s := &OpsServer{ln: ln, srv: &http.Server{Handler: NewOpsMux(reg, prog, workers)}}
 	go s.srv.Serve(ln)
 	return s, nil
 }

@@ -173,7 +173,7 @@ func TestOpsMuxEndpoints(t *testing.T) {
 	live := NewSpanID()
 	prog.Begin(Start{ID: live, Kind: KindRun, Name: "in-flight"})
 
-	srv := httptest.NewServer(NewOpsMux(reg, prog))
+	srv := httptest.NewServer(NewOpsMux(reg, prog, nil))
 	defer srv.Close()
 
 	get := func(path string) (int, string) {
@@ -230,9 +230,9 @@ func TestOpsMuxEndpoints(t *testing.T) {
 }
 
 func TestOpsMuxUnconfigured(t *testing.T) {
-	srv := httptest.NewServer(NewOpsMux(nil, nil))
+	srv := httptest.NewServer(NewOpsMux(nil, nil, nil))
 	defer srv.Close()
-	for _, path := range []string{"/metrics", "/runs", "/runs/1"} {
+	for _, path := range []string{"/metrics", "/runs", "/runs/1", "/workers"} {
 		resp, err := http.Get(srv.URL + path)
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)
@@ -245,7 +245,7 @@ func TestOpsMuxUnconfigured(t *testing.T) {
 }
 
 func TestStartOps(t *testing.T) {
-	srv, err := StartOps("127.0.0.1:0", goldenRegistry(), NewProgress())
+	srv, err := StartOps("127.0.0.1:0", goldenRegistry(), NewProgress(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

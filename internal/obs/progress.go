@@ -154,6 +154,14 @@ func (p *Progress) Begin(s Start) {
 		if r.current != nil {
 			r.current.tasks++
 		}
+	case KindStep:
+		// Worker-side sub-phases route into their attempt's run so their
+		// points resolve, but never count as tasks.
+		r := p.runFor(s.Parent)
+		if r == nil {
+			return
+		}
+		p.spanRun[s.ID] = r.id
 	}
 }
 

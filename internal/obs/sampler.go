@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// userHZ is the kernel clock-tick unit of /proc/<pid>/stat CPU fields.
+// Linux fixes the userspace-visible value at 100 regardless of the kernel's
+// internal HZ, and reading it properly needs sysconf(_SC_CLK_TCK) — cgo —
+// so the constant is the portable stdlib-only choice.
+const userHZ = 100
+
+// CollectResourceSample takes one snapshot of the calling process: CPU and
+// RSS from /proc/self (zero on platforms without procfs — sampling must
+// never fail the worker), spill bytes from walking spillDir ("" skips the
+// walk), and queue depth from the queue callback (nil reports zero).
+func CollectResourceSample(spillDir string, queue func() int64) ResourceSample {
+	var s ResourceSample
+	s.CPUSeconds = procCPUSeconds()
+	s.RSSBytes = procRSSBytes()
+	if spillDir != "" {
+		s.SpillBytes = dirBytes(spillDir)
+	}
+	if queue != nil {
+		s.QueueBytes = queue()
+	}
+	return s
+}
+
+// procCPUSeconds reads cumulative user+system CPU time from
+// /proc/self/stat. The comm field (2) may contain spaces and parentheses,
+// so parsing anchors on the *last* ')': the fields after it start at field
+// 3 (state), putting utime (field 14) and stime (field 15) at indices 11
+// and 12.
+func procCPUSeconds() float64 {
+	b, err := os.ReadFile("/proc/self/stat")
+	if err != nil {
+		return 0
+	}
+	line := string(b)
+	i := strings.LastIndexByte(line, ')')
+	if i < 0 {
+		return 0
+	}
+	fields := strings.Fields(line[i+1:])
+	if len(fields) < 13 {
+		return 0
+	}
+	utime, err1 := strconv.ParseInt(fields[11], 10, 64)
+	stime, err2 := strconv.ParseInt(fields[12], 10, 64)
+	if err1 != nil || err2 != nil {
+		return 0
+	}
+	return float64(utime+stime) / userHZ
+}
+
+// procRSSBytes reads the resident set size from /proc/self/statm (field 2,
+// in pages).
+func procRSSBytes() int64 {
+	b, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0
+	}
+	fields := strings.Fields(string(b))
+	if len(fields) < 2 {
+		return 0
+	}
+	pages, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return pages * int64(os.Getpagesize())
+}
+
+// dirBytes sums the sizes of regular files under dir, ignoring errors —
+// spill files come and go while the walk runs, and a sample is a best-effort
+// gauge, not an inventory.
+func dirBytes(dir string) int64 {
+	var total int64
+	filepath.WalkDir(dir, func(_ string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		if info, err := d.Info(); err == nil {
+			total += info.Size()
+		}
+		return nil
+	})
+	return total
+}

@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// WorkerStats is a Tracer sink that aggregates the worker-attributed slice
+// of the span stream — task-attempt closings, step closings and point
+// events carrying a non-empty Worker — into live per-worker state: the data
+// behind the ops server's /workers endpoint and the p3c_worker_* Prometheus
+// families. Events without a Worker (driver-side spans, in-process
+// execution) are ignored, so the sink is harmless on non-multiprocess runs.
+type WorkerStats struct {
+	mu      sync.Mutex
+	workers map[string]*workerAgg
+}
+
+// workerAgg accumulates one worker process.
+type workerAgg struct {
+	attempts, ok, faults, cancels, errors int64
+	busySeconds                           float64
+	stragglerSeconds                      float64
+	stepSeconds                           map[string]float64
+	wasted                                Counters
+
+	samples         int64
+	last            ResourceSample
+	peakRSS, peakQB int64
+}
+
+// NewWorkerStats returns an empty aggregator.
+func NewWorkerStats() *WorkerStats {
+	return &WorkerStats{workers: make(map[string]*workerAgg)}
+}
+
+func (ws *WorkerStats) agg(worker string) *workerAgg {
+	a := ws.workers[worker]
+	if a == nil {
+		a = &workerAgg{stepSeconds: make(map[string]float64)}
+		ws.workers[worker] = a
+	}
+	return a
+}
+
+// Begin implements Tracer. Openings carry no worker attribution to
+// aggregate — attempts are counted at closing, when the outcome is known.
+func (ws *WorkerStats) Begin(Start) {}
+
+// End implements Tracer.
+func (ws *WorkerStats) End(e End) {
+	if e.Worker == "" {
+		return
+	}
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	a := ws.agg(e.Worker)
+	switch e.Kind {
+	case KindTask:
+		a.attempts++
+		a.busySeconds += e.RealSeconds
+		a.wasted.Add(e.Wasted)
+		switch e.Outcome {
+		case OutcomeOK:
+			a.ok++
+		case OutcomeFault:
+			a.faults++
+		case OutcomeCancelled:
+			a.cancels++
+		case OutcomeError:
+			a.errors++
+		}
+	case KindStep:
+		a.stepSeconds[e.Name] += e.RealSeconds
+	}
+}
+
+// Point implements Tracer.
+func (ws *WorkerStats) Point(p Point) {
+	if p.Worker == "" {
+		return
+	}
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	a := ws.agg(p.Worker)
+	switch p.Kind {
+	case PointSample:
+		if p.Sample == nil {
+			return
+		}
+		a.samples++
+		a.last = *p.Sample
+		if p.Sample.RSSBytes > a.peakRSS {
+			a.peakRSS = p.Sample.RSSBytes
+		}
+		if p.Sample.QueueBytes > a.peakQB {
+			a.peakQB = p.Sample.QueueBytes
+		}
+	case PointStraggler:
+		a.stragglerSeconds += p.Seconds
+	}
+}
+
+// WorkerSnapshot is the point-in-time state of one worker — the /workers
+// payload element.
+type WorkerSnapshot struct {
+	Worker           string             `json:"worker"`
+	Attempts         int64              `json:"attempts"`
+	OK               int64              `json:"ok"`
+	Faults           int64              `json:"faults"`
+	Cancelled        int64              `json:"cancelled"`
+	Errors           int64              `json:"errors"`
+	BusySeconds      float64            `json:"busy_s"`
+	StragglerSeconds float64            `json:"straggler_s,omitempty"`
+	StepSeconds      map[string]float64 `json:"step_s,omitempty"`
+	Samples          int64              `json:"samples"`
+	CPUSeconds       float64            `json:"cpu_s"`
+	RSSBytes         int64              `json:"rss_b"`
+	PeakRSSBytes     int64              `json:"peak_rss_b"`
+	SpillBytes       int64              `json:"spill_b"`
+	QueueBytes       int64              `json:"queue_b"`
+	PeakQueueBytes   int64              `json:"peak_queue_b"`
+	Wasted           Counters           `json:"wasted"`
+}
+
+// Snapshot returns every worker's state, sorted by worker name.
+func (ws *WorkerStats) Snapshot() []WorkerSnapshot {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	out := make([]WorkerSnapshot, 0, len(ws.workers))
+	for name, a := range ws.workers {
+		snap := WorkerSnapshot{
+			Worker: name, Attempts: a.attempts, OK: a.ok, Faults: a.faults,
+			Cancelled: a.cancels, Errors: a.errors,
+			BusySeconds: a.busySeconds, StragglerSeconds: a.stragglerSeconds,
+			Samples: a.samples, CPUSeconds: a.last.CPUSeconds,
+			RSSBytes: a.last.RSSBytes, PeakRSSBytes: a.peakRSS,
+			SpillBytes: a.last.SpillBytes, QueueBytes: a.last.QueueBytes,
+			PeakQueueBytes: a.peakQB, Wasted: a.wasted,
+		}
+		if len(a.stepSeconds) > 0 {
+			snap.StepSeconds = make(map[string]float64, len(a.stepSeconds))
+			for k, v := range a.stepSeconds {
+				snap.StepSeconds[k] = v
+			}
+		}
+		out = append(out, snap)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Worker < out[j].Worker })
+	return out
+}
+
+// WritePrometheus renders the per-worker families in the text exposition
+// format. Deterministic: workers and step names are sorted, floats use the
+// shortest round-trip form. Empty state renders nothing (a TYPE line with
+// no samples is pointless).
+func (ws *WorkerStats) WritePrometheus(w io.Writer) error {
+	snaps := ws.Snapshot()
+	if len(snaps) == 0 {
+		return nil
+	}
+	counter := func(name string, value func(*WorkerSnapshot) string) error {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", name); err != nil {
+			return err
+		}
+		for i := range snaps {
+			if _, err := fmt.Fprintf(w, "%s{worker=%q} %s\n", name, snaps[i].Worker, value(&snaps[i])); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	gauge := func(name string, value func(*WorkerSnapshot) string) error {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", name); err != nil {
+			return err
+		}
+		for i := range snaps {
+			if _, err := fmt.Fprintf(w, "%s{worker=%q} %s\n", name, snaps[i].Worker, value(&snaps[i])); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	itoa := func(v int64) string { return fmt.Sprintf("%d", v) }
+
+	if err := counter("p3c_worker_attempts_total", func(s *WorkerSnapshot) string { return itoa(s.Attempts) }); err != nil {
+		return err
+	}
+	if err := counter("p3c_worker_busy_seconds_total", func(s *WorkerSnapshot) string { return promFloat(s.BusySeconds) }); err != nil {
+		return err
+	}
+	if err := counter("p3c_worker_cancelled_total", func(s *WorkerSnapshot) string { return itoa(s.Cancelled) }); err != nil {
+		return err
+	}
+	if err := counter("p3c_worker_cpu_seconds_total", func(s *WorkerSnapshot) string { return promFloat(s.CPUSeconds) }); err != nil {
+		return err
+	}
+	if err := counter("p3c_worker_faults_total", func(s *WorkerSnapshot) string { return itoa(s.Faults) }); err != nil {
+		return err
+	}
+	if err := gauge("p3c_worker_queue_bytes", func(s *WorkerSnapshot) string { return itoa(s.QueueBytes) }); err != nil {
+		return err
+	}
+	if err := gauge("p3c_worker_rss_bytes", func(s *WorkerSnapshot) string { return itoa(s.RSSBytes) }); err != nil {
+		return err
+	}
+	if err := counter("p3c_worker_samples_total", func(s *WorkerSnapshot) string { return itoa(s.Samples) }); err != nil {
+		return err
+	}
+	if err := gauge("p3c_worker_spill_bytes", func(s *WorkerSnapshot) string { return itoa(s.SpillBytes) }); err != nil {
+		return err
+	}
+	// Step seconds carry a second label; emit one family with every
+	// (worker, step) pair, both dimensions sorted.
+	hasSteps := false
+	for i := range snaps {
+		if len(snaps[i].StepSeconds) > 0 {
+			hasSteps = true
+			break
+		}
+	}
+	if hasSteps {
+		if _, err := fmt.Fprintf(w, "# TYPE p3c_worker_step_seconds_total counter\n"); err != nil {
+			return err
+		}
+		for i := range snaps {
+			steps := make([]string, 0, len(snaps[i].StepSeconds))
+			for name := range snaps[i].StepSeconds {
+				steps = append(steps, name)
+			}
+			sort.Strings(steps)
+			for _, name := range steps {
+				if _, err := fmt.Fprintf(w, "p3c_worker_step_seconds_total{worker=%q,step=%q} %s\n",
+					snaps[i].Worker, name, promFloat(snaps[i].StepSeconds[name])); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return counter("p3c_worker_straggler_seconds_total", func(s *WorkerSnapshot) string { return promFloat(s.StragglerSeconds) })
+}
