@@ -14,7 +14,9 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific contract analyzers (determinism, retry safety, zero-cost
-# tracing). Exits nonzero on any finding; see cmd/p3cvet and DESIGN.md §3e.
+# tracing, pool lifecycles, the append-only wire protocol, the job-impl
+# registry bijection, span balance). Exits nonzero on any finding; see
+# cmd/p3cvet and DESIGN.md §3e/§3j.
 lint:
 	$(GO) run ./cmd/p3cvet ./...
 
@@ -74,19 +76,19 @@ ops-proc:
 		./internal/mr/ ./internal/obs/ ./cmd/p3ctrace/
 
 # Benchmarks with a machine-readable summary: benchjson tees the raw
-# output through and writes BENCH_PR8.json for cross-PR baseline diffs.
+# output through and writes BENCH_PR9.json for cross-PR baseline diffs.
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x -benchmem ./internal/mr/ \
-		| $(GO) run ./cmd/benchjson -o BENCH_PR8.json
+		| $(GO) run ./cmd/benchjson -o BENCH_PR9.json
 
 # Compare this PR's benchmark baseline against the previous PR's; exits
 # nonzero on a regression beyond the (deliberately loose, -benchtime 1x is
-# noisy) thresholds. The worker telemetry plane is strictly additive — with
-# tracing off the wire format and hot paths are untouched — so the engine
-# micro-benchmarks are held to PR 7's ns/op and allocs/op envelopes.
+# noisy) thresholds. PR 9 only grows the static-analysis suite — nothing on
+# the engine's data plane changed — so the micro-benchmarks are held to
+# PR 8's ns/op and allocs/op envelopes.
 bench-diff:
 	$(GO) run ./cmd/benchjson -diff -threshold 0.75 -alloc-threshold 0.25 \
-		BENCH_PR7.json BENCH_PR8.json
+		BENCH_PR8.json BENCH_PR9.json
 
 # End-to-end trace demo: generate a small data set, cluster it with
 # tracing, the per-job report, and the cost model enabled, then show the

@@ -1,10 +1,14 @@
 // Command p3cvet runs the project's contract-enforcing static analyzers
 // over the module: detclock (wall clock is observability-only), detrand
 // (randomness is seeded per identity), hotpath (no scalar any-boxing or
-// per-emit fmt.Sprintf keys on the data plane), maporder (no output in map
-// iteration order), reducermut (reducers treat shuffled values as
-// read-only), and tracenil (Tracer/Metrics calls are nil-guarded). Findings
-// print as
+// per-emit fmt.Sprintf keys on the data plane), implreg (Job.Impl sites and
+// RegisterJobImpl registrations form a bijection with pure builders),
+// maporder (no output in map iteration order), poolsafe (pooled buffers
+// stay inside their lifecycle barrier), reducermut (reducers treat shuffled
+// values as read-only), spanbalance (every obs span Begin is Ended on all
+// control-flow paths), tracenil (Tracer/Metrics calls are nil-guarded), and
+// wirelock (the wire protocol evolves append-only against the committed
+// wire.lock). Findings print as
 //
 //	file:line: [analyzer] message
 //
@@ -12,6 +16,10 @@
 // A finding is suppressed by a `//lint:allow <analyzer> <reason>` comment on
 // the same line or the line above; allows that suppress nothing are
 // themselves reported, so stale suppressions cannot accumulate.
+//
+// -write regenerates wire.lock for intentional, append-only protocol bumps
+// (and refuses breaking diffs). -time reports load and per-analyzer wall
+// times.
 package main
 
 import (
@@ -26,6 +34,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list available analyzers and exit")
+	write := flag.Bool("write", false, "regenerate wire.lock fingerprints (append-only bumps; breaking diffs are refused) and exit")
+	timed := flag.Bool("time", false, "report load and per-analyzer wall times on stderr")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: p3cvet [flags] [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Packages follow go-tool patterns relative to the working directory\n")
@@ -56,13 +66,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "p3cvet:", err)
 		os.Exit(2)
 	}
-	pkgs, err := lint.Load(dir, flag.Args())
+	pkgs, stats, err := lint.LoadWithStats(dir, flag.Args())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "p3cvet:", err)
 		os.Exit(2)
 	}
+	if *timed {
+		fmt.Fprintf(os.Stderr, "p3cvet: load %.3fs (parse %.3fs, typecheck %.3fs, %d packages)\n",
+			stats.ParseSeconds+stats.CheckSeconds, stats.ParseSeconds, stats.CheckSeconds, stats.Packages)
+	}
 
-	findings := lint.Run(pkgs, analyzers)
+	if *write {
+		written, err := lint.RegenerateWireLocks(pkgs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p3cvet:", err)
+			os.Exit(1)
+		}
+		for _, path := range written {
+			fmt.Println("p3cvet: wrote", path)
+		}
+		if len(written) == 0 {
+			fmt.Fprintln(os.Stderr, "p3cvet: no wire surfaces in the loaded packages")
+		}
+		return
+	}
+
+	findings, timings := lint.RunTimed(pkgs, analyzers)
+	if *timed {
+		for _, t := range timings {
+			fmt.Fprintf(os.Stderr, "p3cvet: %-12s %.3fs\n", t.Name, t.Seconds)
+		}
+	}
 	if *jsonOut {
 		if err := lint.WriteJSON(os.Stdout, findings); err != nil {
 			fmt.Fprintln(os.Stderr, "p3cvet:", err)

@@ -1,0 +1,248 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file holds the dataflow machinery shared by the CFG-based analyzers:
+// reaching definitions (which assignment(s) may have produced a variable's
+// value at a program point) and nil-check fact tracking (which handle
+// expressions are known non-nil / nil on a given CFG edge). Both are
+// deliberately conservative — merges union, unknown constructs widen — so
+// analyzers built on top err toward silence (poolsafe) or toward a finding
+// only on a genuinely unclosed path (spanbalance).
+
+// defSites maps a local variable to the set of definition nodes (AssignStmt,
+// ValueSpec, RangeStmt, Field, …) that may reach the current point.
+type defSites map[types.Object]map[ast.Node]bool
+
+func (d defSites) clone() defSites {
+	out := make(defSites, len(d))
+	for obj, sites := range d {
+		cp := make(map[ast.Node]bool, len(sites))
+		for n := range sites {
+			cp[n] = true
+		}
+		out[obj] = cp
+	}
+	return out
+}
+
+// mergeInto unions src into dst, reporting whether dst changed.
+func (d defSites) mergeInto(src defSites) bool {
+	changed := false
+	for obj, sites := range src {
+		dst := d[obj]
+		if dst == nil {
+			dst = make(map[ast.Node]bool, len(sites))
+			d[obj] = dst
+		}
+		for n := range sites {
+			if !dst[n] {
+				dst[n] = true
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// kill replaces every reaching definition of obj with the single site n.
+func (d defSites) kill(obj types.Object, n ast.Node) {
+	d[obj] = map[ast.Node]bool{n: true}
+}
+
+// reachingDefs computes the reaching-definition in-state of every block by
+// forward fixpoint over the CFG. info resolves identifiers to objects; only
+// local variables (objects with a position inside the function) are tracked.
+func reachingDefs(g *funcCFG, info *types.Info) map[*cfgBlock]defSites {
+	in := make(map[*cfgBlock]defSites, len(g.blocks))
+	for _, blk := range g.blocks {
+		in[blk] = make(defSites)
+	}
+	work := []*cfgBlock{g.entry}
+	inWork := map[*cfgBlock]bool{g.entry: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		inWork[blk] = false
+		out := in[blk].clone()
+		for _, s := range blk.stmts {
+			applyDefs(s, info, out)
+		}
+		for _, e := range blk.edges {
+			if in[e.to].mergeInto(out) && !inWork[e.to] {
+				inWork[e.to] = true
+				work = append(work, e.to)
+			}
+		}
+	}
+	return in
+}
+
+// defsAt returns the reaching definitions immediately before stmt index idx
+// of blk, given the block's in-state.
+func defsAt(blk *cfgBlock, idx int, in defSites, info *types.Info) defSites {
+	out := in.clone()
+	for i := 0; i < idx && i < len(blk.stmts); i++ {
+		applyDefs(blk.stmts[i], info, out)
+	}
+	return out
+}
+
+// applyDefs applies one statement's definitions to the state. Nested
+// statements (if/for bodies) never appear here — the CFG flattened them —
+// but composite simple statements do.
+func applyDefs(s ast.Stmt, info *types.Info, out defSites) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				if obj := objOf(info, id); obj != nil {
+					out.kill(obj, s)
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := s.X.(*ast.Ident); ok {
+			if obj := objOf(info, id); obj != nil {
+				out.kill(obj, s)
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				if obj := objOf(info, name); obj != nil {
+					out.kill(obj, vs)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		for _, lhs := range []ast.Expr{s.Key, s.Value} {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				if obj := objOf(info, id); obj != nil {
+					out.kill(obj, s)
+				}
+			}
+		}
+	}
+}
+
+// objOf resolves an identifier to its object via Defs or Uses.
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// ---- nil-check facts ----------------------------------------------------
+
+// nilFacts records, per printed handle expression, whether it is known
+// non-nil (true) or known nil (false) on the current path. Keys are the
+// printer renderings of the guard operands — the same identity tracenil
+// uses — so `e.cfg.Tracer` and `tr` are distinct handles unless the code
+// compares the same spelling.
+type nilFacts map[string]bool
+
+func (f nilFacts) clone() nilFacts {
+	out := make(nilFacts, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// equal reports whether two fact sets carry identical knowledge — used to
+// bound path re-exploration.
+func (f nilFacts) equal(other nilFacts) bool {
+	if len(f) != len(other) {
+		return false
+	}
+	for k, v := range f {
+		ov, ok := other[k]
+		if !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// nilCheck decomposes a comparison against nil. It returns the non-nil
+// operand's expression and whether the comparison is `!= nil` (nonnil=true)
+// or `== nil` (nonnil=false).
+func nilCheck(e ast.Expr) (operand ast.Expr, nonnil, ok bool) {
+	bin, isBin := ast.Unparen(e).(*ast.BinaryExpr)
+	if !isBin {
+		return nil, false, false
+	}
+	if bin.Op != token.NEQ && bin.Op != token.EQL {
+		return nil, false, false
+	}
+	x, y := ast.Unparen(bin.X), ast.Unparen(bin.Y)
+	var op ast.Expr
+	if isNilIdent(y) {
+		op = x
+	} else if isNilIdent(x) {
+		op = y
+	} else {
+		return nil, false, false
+	}
+	return op, bin.Op == token.NEQ, true
+}
+
+// edgeFacts returns the facts implied by taking an edge whose condition is
+// cond with polarity when. Conjunctions contribute on the true branch
+// (`a != nil && b != nil` taken ⇒ both non-nil); the false branch of a
+// conjunction implies nothing certain about either conjunct.
+func edgeFacts(p *Pass, cond ast.Expr, when bool, into nilFacts) {
+	if cond == nil {
+		return
+	}
+	cond = ast.Unparen(cond)
+	if bin, ok := cond.(*ast.BinaryExpr); ok && bin.Op == token.LAND {
+		if when {
+			edgeFacts(p, bin.X, true, into)
+			edgeFacts(p, bin.Y, true, into)
+		}
+		return
+	}
+	if bin, ok := cond.(*ast.BinaryExpr); ok && bin.Op == token.LOR {
+		if !when {
+			// !(a || b) ⇒ !a && !b
+			edgeFacts(p, bin.X, false, into)
+			edgeFacts(p, bin.Y, false, into)
+		}
+		return
+	}
+	if op, nonnil, ok := nilCheck(cond); ok {
+		into[p.ExprString(op)] = nonnil == when
+	}
+}
+
+// edgeContradicts reports whether taking the edge is impossible given the
+// known facts — e.g. an edge guarded by `tr == nil` when tr is known
+// non-nil. Path-sensitive analyses prune such edges.
+func edgeContradicts(p *Pass, e cfgEdge, facts nilFacts) bool {
+	if e.cond == nil {
+		return false
+	}
+	implied := make(nilFacts)
+	edgeFacts(p, e.cond, e.when, implied)
+	for expr, v := range implied {
+		if known, ok := facts[expr]; ok && known != v {
+			return true
+		}
+	}
+	return false
+}

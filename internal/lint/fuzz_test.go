@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAllowDirective fuzzes the `//lint:allow <analyzer> <reason>` parser
+// with hostile comment text. The parser is the gate on the whole
+// suppression mechanism, so its invariants are pinned here rather than by
+// example: it must never panic, anything it accepts must actually look like
+// a directive (prefix, analyzer charset, non-empty reason with no trailing
+// space), and re-rendering an accepted parse canonically must parse back to
+// the identical result.
+func FuzzAllowDirective(f *testing.F) {
+	for _, seed := range []string{
+		"//lint:allow detclock benchmarks time themselves",
+		"//lint:allow maporder keys are pre-sorted upstream",
+		"//lint:allow detclock",        // missing reason: rejected
+		"//lint:allow detclock ",       // whitespace-only reason: rejected
+		"// lint:allow detclock x",     // space before lint: not a directive
+		"//lint:allow DetClock reason", // uppercase analyzer: rejected
+		"//lint:allow det-clock reason with  double  spaces",
+		"//lint:allow\tdetclock\ttab-separated reason",
+		"//lint:allow detclock reason with trailing spaces   ",
+		"//lint:allow detclock ünïcödé justification",
+		"//lint:allowdetclock smashed together",
+		"//lint:allow 9starts-with-digit reason",
+		"//lint:allow a b\nc", // embedded newline
+		"//nolint:detclock",
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		analyzer, reason, ok := parseAllowDirective(text)
+		if !ok {
+			if analyzer != "" || reason != "" {
+				t.Fatalf("rejected parse of %q leaked values (%q, %q)", text, analyzer, reason)
+			}
+			return
+		}
+		if !strings.HasPrefix(text, "//lint:allow") {
+			t.Fatalf("accepted %q which does not start with //lint:allow", text)
+		}
+		if analyzer == "" || analyzer[0] < 'a' || analyzer[0] > 'z' {
+			t.Fatalf("accepted analyzer %q from %q: must start with a lowercase letter", analyzer, text)
+		}
+		for i := 0; i < len(analyzer); i++ {
+			c := analyzer[i]
+			if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '-' {
+				t.Fatalf("accepted analyzer %q from %q: byte %q outside [a-z0-9-]", analyzer, text, c)
+			}
+		}
+		if reason == "" {
+			t.Fatalf("accepted %q with an empty reason — a justification is mandatory", text)
+		}
+		if strings.HasSuffix(reason, " ") || strings.HasSuffix(reason, "\t") {
+			t.Fatalf("accepted reason %q from %q with trailing whitespace", reason, text)
+		}
+		if strings.ContainsAny(reason, "\n") || strings.ContainsAny(analyzer, "\n") {
+			t.Fatalf("accepted multi-line directive from %q: (%q, %q)", text, analyzer, reason)
+		}
+
+		// Canonical round trip: the normalized rendering must parse back to
+		// the identical (analyzer, reason) pair.
+		canonical := "//lint:allow " + analyzer + " " + reason
+		a2, r2, ok2 := parseAllowDirective(canonical)
+		if !ok2 || a2 != analyzer || r2 != reason {
+			t.Fatalf("canonical re-parse of %q disagrees: got (%q, %q, %v), want (%q, %q, true)",
+				canonical, a2, r2, ok2, analyzer, reason)
+		}
+	})
+}

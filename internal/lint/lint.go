@@ -39,6 +39,9 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
+
+	"p3cmr/internal/obs"
 )
 
 // Analyzer is one named pass over a type-checked package.
@@ -47,8 +50,35 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description of the enforced contract.
 	Doc string
-	// Run inspects the package and reports findings through the pass.
+	// Run inspects one package and reports findings through the pass. Nil
+	// for module-level analyzers.
 	Run func(*Pass)
+	// RunModule, when set, runs once over the whole load instead of once
+	// per package — for cross-package contracts like the job-impl registry,
+	// where a use in one package resolves to a registration in another.
+	RunModule func(*ModulePass)
+}
+
+// ModulePass hands the entire load to a module-level analyzer.
+type ModulePass struct {
+	// Analyzer is the pass owner.
+	Analyzer *Analyzer
+	// Pkgs are all loaded packages, sharing one FileSet.
+	Pkgs []*Package
+
+	report func(Finding)
+}
+
+// Reportf records a finding at pos, which must belong to pkg.
+func (mp *ModulePass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	position := pkg.Fset.Position(pos)
+	mp.report(Finding{
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: mp.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
 }
 
 // Pass hands one package to one analyzer.
@@ -59,6 +89,8 @@ type Pass struct {
 	Fset *token.FileSet
 	// Path is the package's import path.
 	Path string
+	// Dir is the package directory on disk (where wirelock finds wire.lock).
+	Dir string
 	// Files are the package's parsed files (tests excluded).
 	Files []*ast.File
 	// Pkg and Info are the type-check results. Info is always non-nil, but
@@ -116,6 +148,19 @@ const UnusedAllowAnalyzer = "unused-allow"
 // without a justification is not parsed (and therefore suppresses nothing).
 var allowRe = regexp.MustCompile(`^//lint:allow\s+([a-z][a-z0-9-]*)\s+(\S.*)$`)
 
+// parseAllowDirective parses one comment's text as a suppression directive.
+// It returns ok == false for anything that is not a well-formed
+// `//lint:allow <analyzer> <reason>` comment: a missing reason, an analyzer
+// name outside [a-z][a-z0-9-]*, or a space before `lint:`. The reason keeps
+// its interior spacing but not surrounding whitespace.
+func parseAllowDirective(text string) (analyzer, reason string, ok bool) {
+	m := allowRe.FindStringSubmatch(text)
+	if m == nil {
+		return "", "", false
+	}
+	return m[1], strings.TrimRight(m[2], " \t"), true
+}
+
 // allow is one parsed //lint:allow comment.
 type allow struct {
 	file     string
@@ -131,16 +176,16 @@ func collectAllows(fset *token.FileSet, files []*ast.File) []*allow {
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				m := allowRe.FindStringSubmatch(c.Text)
-				if m == nil {
+				analyzer, reason, ok := parseAllowDirective(c.Text)
+				if !ok {
 					continue
 				}
 				pos := fset.Position(c.Pos())
 				out = append(out, &allow{
 					file:     pos.Filename,
 					line:     pos.Line,
-					analyzer: m[1],
-					reason:   m[2],
+					analyzer: analyzer,
+					reason:   reason,
 				})
 			}
 		}
@@ -152,21 +197,52 @@ func collectAllows(fset *token.FileSet, files []*ast.File) []*allow {
 // suppressions, reports stale allows, and returns the surviving findings
 // sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	findings, _ := runSuite(pkgs, analyzers, false)
+	return findings
+}
+
+// AnalyzerTiming is one analyzer's wall time over the whole load, reported
+// by `p3cvet -time`. Seconds come from obs.Now/obs.Since — the lint suite
+// obeys the detclock contract it enforces.
+type AnalyzerTiming struct {
+	Name    string
+	Seconds float64
+}
+
+// RunTimed is Run plus per-analyzer wall times (in analyzer order).
+func RunTimed(pkgs []*Package, analyzers []*Analyzer) ([]Finding, []AnalyzerTiming) {
+	return runSuite(pkgs, analyzers, true)
+}
+
+func runSuite(pkgs []*Package, analyzers []*Analyzer, timed bool) ([]Finding, []AnalyzerTiming) {
 	var findings []Finding
+	var timings []AnalyzerTiming
 	var allows []*allow
 	for _, pkg := range pkgs {
 		allows = append(allows, collectAllows(pkg.Fset, pkg.Files)...)
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Path:     pkg.Path,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				report:   func(f Finding) { findings = append(findings, f) },
+	}
+	report := func(f Finding) { findings = append(findings, f) }
+	for _, a := range analyzers {
+		start := analyzerClock()
+		if a.RunModule != nil {
+			a.RunModule(&ModulePass{Analyzer: a, Pkgs: pkgs, report: report})
+		}
+		if a.Run != nil {
+			for _, pkg := range pkgs {
+				a.Run(&Pass{
+					Analyzer: a,
+					Fset:     pkg.Fset,
+					Path:     pkg.Path,
+					Dir:      pkg.Dir,
+					Files:    pkg.Files,
+					Pkg:      pkg.Types,
+					Info:     pkg.Info,
+					report:   report,
+				})
 			}
-			a.Run(pass)
+		}
+		if timed {
+			timings = append(timings, AnalyzerTiming{Name: a.Name, Seconds: analyzerSeconds(start)})
 		}
 	}
 
@@ -226,12 +302,18 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings
+	return findings, timings
 }
+
+// analyzerClock and analyzerSeconds time analyzer passes through the obs
+// clock seam — the lint suite obeys the detclock contract it enforces.
+func analyzerClock() time.Time { return obs.Now() }
+
+func analyzerSeconds(start time.Time) float64 { return obs.Since(start).Seconds() }
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{DetClock, DetRand, HotPath, MapOrder, ReducerMut, TraceNil}
+	return []*Analyzer{DetClock, DetRand, HotPath, ImplReg, MapOrder, PoolSafe, ReducerMut, SpanBalance, TraceNil, WireLock}
 }
 
 // ByName resolves a comma-separated analyzer list ("detclock,maporder").

@@ -110,6 +110,50 @@ func TestTraceNilCorpus(t *testing.T) {
 	runCorpus(t, []*Analyzer{TraceNil}, "testdata/src/tracenil")
 }
 
+func TestPoolSafeCorpus(t *testing.T) {
+	runCorpus(t, []*Analyzer{PoolSafe}, "testdata/src/poolsafe")
+}
+
+func TestSpanBalanceCorpus(t *testing.T) {
+	runCorpus(t, []*Analyzer{SpanBalance}, "testdata/src/spanbalance")
+}
+
+// TestImplRegCorpus loads two corpus packages in one run: the bijection is
+// module-wide, so the parent package's "crosspkg" registration must be
+// satisfied by the sibling package's Impl site.
+func TestImplRegCorpus(t *testing.T) {
+	runCorpus(t, []*Analyzer{ImplReg},
+		"testdata/src/implreg",
+		"testdata/src/implreg/uses")
+}
+
+// TestImplRegCrossPackage pins that dropping the uses package from the load
+// turns the cross-package registration into an orphan — the analyzer really
+// is judging the loaded module surface, not a per-package view.
+func TestImplRegCrossPackage(t *testing.T) {
+	pkgs, err := Load(".", []string{"testdata/src/implreg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawOrphan := false
+	for _, f := range Run(pkgs, []*Analyzer{ImplReg}) {
+		if strings.Contains(f.Message, `RegisterJobImpl("crosspkg") is never named`) {
+			sawOrphan = true
+		}
+	}
+	if !sawOrphan {
+		t.Error("loading only the registration package did not orphan the cross-package impl")
+	}
+}
+
+func TestWireLockCorpus(t *testing.T) {
+	runCorpus(t, []*Analyzer{WireLock},
+		"testdata/src/wirelock/clean",
+		"testdata/src/wirelock/extended",
+		"testdata/src/wirelock/breaking",
+		"testdata/src/wirelock/nolock")
+}
+
 // TestAllowCorpus exercises the suppression machinery end to end: same-line
 // and line-above allows suppress, a wrong-analyzer allow does not (and is
 // reported stale through the unused-allow pseudo-analyzer).

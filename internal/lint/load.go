@@ -9,8 +9,13 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
+
+	"p3cmr/internal/obs"
 )
 
 // Package is one loaded, type-checked package of the module under analysis.
@@ -31,19 +36,51 @@ type Package struct {
 	TypeErrors []error
 }
 
+// LoadStats reports where load wall time went — surfaced by `p3cvet -time`.
+type LoadStats struct {
+	ParseSeconds float64
+	CheckSeconds float64
+	// Packages counts every package parsed and checked, including module
+	// dependencies pulled in beyond the requested patterns.
+	Packages int
+}
+
 // loader parses and type-checks module packages with a module-aware
 // importer: imports inside the module resolve to the module's own source
-// directories (checked recursively by this loader), everything else is
-// delegated to the stdlib source importer. This keeps the suite free of
-// external dependencies — no go/packages — while still giving analyzers
-// full type information.
+// directories, everything else is delegated to the stdlib source importer.
+// This keeps the suite free of external dependencies — no go/packages —
+// while still giving analyzers full type information.
+//
+// The load is parallel in two phases. Parsing fans out across all
+// discovered directories at once (token.FileSet is internally synchronized,
+// and parsing dominated the old serial load). Type-checking is scheduled by
+// import-DAG level: packages whose module dependencies all sit at lower
+// levels check concurrently, so independent subtrees (internal/obs,
+// internal/core, the cmd/* leaves) no longer serialize. The stdlib source
+// importer is not safe for concurrent use and stays behind its own mutex —
+// distinct module packages overlap their own checking even while stdlib
+// imports serialize.
 type loader struct {
 	root   string // module root directory
 	module string // module path from go.mod
 	fset   *token.FileSet
-	std    types.ImporterFrom
-	pkgs   map[string]*Package // by import path
-	active map[string]bool     // import cycle guard
+
+	stdMu sync.Mutex // the stdlib source importer is not concurrency-safe
+	std   types.ImporterFrom
+
+	mu     sync.Mutex
+	parsed map[string]*parsedPkg // by import path, after the parse phase
+	pkgs   map[string]*Package   // by import path, after the check phase
+}
+
+// parsedPkg is one package between the parse and check phases.
+type parsedPkg struct {
+	path    string
+	dir     string
+	files   []*ast.File
+	imports []string // module-internal imports only
+	level   int      // import-DAG level (0 = no module-internal imports)
+	err     error
 }
 
 func newLoader(root string) (*loader, error) {
@@ -61,8 +98,8 @@ func newLoader(root string) (*loader, error) {
 		module: module,
 		fset:   fset,
 		std:    std,
+		parsed: make(map[string]*parsedPkg),
 		pkgs:   make(map[string]*Package),
-		active: make(map[string]bool),
 	}, nil
 }
 
@@ -105,18 +142,28 @@ func (l *loader) Import(path string) (*types.Package, error) {
 	return l.ImportFrom(path, l.root, 0)
 }
 
-// ImportFrom implements types.ImporterFrom: module-internal paths are
-// loaded from source by this loader, all others through the stdlib source
-// importer.
+// ImportFrom implements types.ImporterFrom. Module-internal paths resolve
+// to packages the level scheduler has already checked; everything else goes
+// through the (mutex-guarded) stdlib source importer. Safe for concurrent
+// use — type-checks at the same DAG level call in from multiple goroutines.
 func (l *loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
-	if path == l.module || strings.HasPrefix(path, l.module+"/") {
-		pkg, err := l.load(path)
-		if err != nil {
-			return nil, err
+	if l.internal(path) {
+		l.mu.Lock()
+		pkg := l.pkgs[path]
+		l.mu.Unlock()
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: internal error: %s imported before its DAG level was checked", path)
 		}
 		return pkg.Types, nil
 	}
+	l.stdMu.Lock()
+	defer l.stdMu.Unlock()
 	return l.std.ImportFrom(path, srcDir, mode)
+}
+
+// internal reports whether path lies inside the module.
+func (l *loader) internal(path string) bool {
+	return path == l.module || strings.HasPrefix(path, l.module+"/")
 }
 
 // dirFor maps a module import path to its directory.
@@ -139,28 +186,163 @@ func (l *loader) pathFor(dir string) (string, error) {
 	return l.module + "/" + filepath.ToSlash(rel), nil
 }
 
-// load parses and type-checks the package at the given module import path,
-// memoized across the whole program load.
-func (l *loader) load(path string) (*Package, error) {
-	if pkg, ok := l.pkgs[path]; ok {
-		return pkg, nil
+// loadWorkers bounds both phase pools.
+func loadWorkers() int {
+	n := runtime.NumCPU()
+	if n > 8 {
+		n = 8
 	}
-	if l.active[path] {
-		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	if n < 1 {
+		n = 1
 	}
-	l.active[path] = true
-	defer func() { l.active[path] = false }()
+	return n
+}
 
-	dir := l.dirFor(path)
-	files, err := parseDir(l.fset, dir)
-	if err != nil {
-		return nil, err
+// parseAll parses the given import paths and, wave by wave, the module
+// closure of their imports. Each wave fans out across a worker pool; the
+// shared FileSet is internally synchronized.
+func (l *loader) parseAll(paths []string) error {
+	pending := paths
+	for len(pending) > 0 {
+		var wave []*parsedPkg
+		for _, path := range pending {
+			if _, ok := l.parsed[path]; ok {
+				continue
+			}
+			pp := &parsedPkg{path: path, dir: l.dirFor(path)}
+			l.parsed[path] = pp
+			wave = append(wave, pp)
+		}
+		pending = nil
+		if len(wave) == 0 {
+			break
+		}
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, loadWorkers())
+		for _, pp := range wave {
+			wg.Add(1)
+			go func(pp *parsedPkg) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				pp.files, pp.err = parseDir(l.fset, pp.dir)
+				if pp.err == nil && len(pp.files) == 0 {
+					pp.err = fmt.Errorf("lint: no Go files in %s", pp.dir)
+				}
+				for _, f := range pp.files {
+					for _, imp := range f.Imports {
+						path, err := strconv.Unquote(imp.Path.Value)
+						if err == nil && l.internal(path) {
+							pp.imports = append(pp.imports, path)
+						}
+					}
+				}
+			}(pp)
+		}
+		wg.Wait()
+		for _, pp := range wave {
+			if pp.err != nil {
+				return pp.err
+			}
+			for _, dep := range pp.imports {
+				if _, ok := l.parsed[dep]; !ok {
+					pending = append(pending, dep)
+				}
+			}
+		}
 	}
-	if len(files) == 0 {
-		return nil, fmt.Errorf("lint: no Go files in %s", dir)
-	}
+	return nil
+}
 
-	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files}
+// levelize assigns each parsed package its import-DAG level — 1 + the
+// maximum level of its module-internal imports — and rejects cycles up
+// front (the old recursive loader found them mid-check; the scheduler needs
+// them gone before it partitions work).
+func (l *loader) levelize() error {
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[string]int, len(l.parsed))
+	var visit func(path string) (int, error)
+	visit = func(path string) (int, error) {
+		pp := l.parsed[path]
+		if pp == nil {
+			return 0, fmt.Errorf("lint: internal error: %s not parsed", path)
+		}
+		switch state[path] {
+		case done:
+			return pp.level, nil
+		case visiting:
+			return 0, fmt.Errorf("lint: import cycle through %s", path)
+		}
+		state[path] = visiting
+		level := 0
+		for _, dep := range pp.imports {
+			dl, err := visit(dep)
+			if err != nil {
+				return 0, err
+			}
+			if dl+1 > level {
+				level = dl + 1
+			}
+		}
+		pp.level = level
+		state[path] = done
+		return level, nil
+	}
+	paths := make([]string, 0, len(l.parsed))
+	for path := range l.parsed {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if _, err := visit(path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkAll type-checks every parsed package, level by level, parallel
+// within a level.
+func (l *loader) checkAll() error {
+	paths := make([]string, 0, len(l.parsed))
+	for path := range l.parsed {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	byLevel := make(map[int][]*parsedPkg)
+	maxLevel := 0
+	for _, path := range paths {
+		pp := l.parsed[path]
+		byLevel[pp.level] = append(byLevel[pp.level], pp)
+		if pp.level > maxLevel {
+			maxLevel = pp.level
+		}
+	}
+	for level := 0; level <= maxLevel; level++ {
+		wave := byLevel[level]
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, loadWorkers())
+		for _, pp := range wave {
+			wg.Add(1)
+			go func(pp *parsedPkg) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				l.check(pp)
+			}(pp)
+		}
+		wg.Wait()
+	}
+	return nil
+}
+
+// check type-checks one parsed package and publishes it.
+func (l *loader) check(pp *parsedPkg) {
+	pkg := &Package{Path: pp.path, Dir: pp.dir, Fset: l.fset, Files: pp.files}
 	pkg.Info = &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
@@ -173,10 +355,11 @@ func (l *loader) load(path string) (*Package, error) {
 		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
 	}
 	// Errors are collected, not fatal: analyzers run over what checked.
-	tpkg, _ := conf.Check(path, l.fset, files, pkg.Info)
+	tpkg, _ := conf.Check(pp.path, l.fset, pp.files, pkg.Info)
 	pkg.Types = tpkg
-	l.pkgs[path] = pkg
-	return pkg, nil
+	l.mu.Lock()
+	l.pkgs[pp.path] = pkg
+	l.mu.Unlock()
 }
 
 // parseDir parses every non-test .go file of dir (with comments, which the
@@ -207,17 +390,24 @@ func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 // directory. testdata directories are never matched by "..." patterns but
 // can be loaded by naming them directly (the analyzer corpus tests do).
 func Load(dir string, patterns []string) ([]*Package, error) {
+	pkgs, _, err := LoadWithStats(dir, patterns)
+	return pkgs, err
+}
+
+// LoadWithStats is Load plus phase timings for `p3cvet -time`.
+func LoadWithStats(dir string, patterns []string) ([]*Package, LoadStats, error) {
+	var stats LoadStats
 	dir, err := filepath.Abs(dir)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	root, err := FindModuleRoot(dir)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	l, err := newLoader(root)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -235,7 +425,7 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		if rest, ok := strings.CutSuffix(pat, "..."); ok {
 			base := filepath.Join(dir, filepath.FromSlash(strings.TrimSuffix(rest, "/")))
 			if err := walkPackageDirs(base, addDir); err != nil {
-				return nil, err
+				return nil, stats, err
 			}
 			continue
 		}
@@ -243,24 +433,40 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		if hasGoFiles(d) {
 			addDir(d)
 		} else {
-			return nil, fmt.Errorf("lint: no Go files in %s", d)
+			return nil, stats, fmt.Errorf("lint: no Go files in %s", d)
 		}
 	}
 	sort.Strings(dirs)
 
-	var pkgs []*Package
+	paths := make([]string, 0, len(dirs))
 	for _, d := range dirs {
 		path, err := l.pathFor(d)
 		if err != nil {
-			return nil, err
+			return nil, stats, err
 		}
-		pkg, err := l.load(path)
-		if err != nil {
-			return nil, err
-		}
-		pkgs = append(pkgs, pkg)
+		paths = append(paths, path)
 	}
-	return pkgs, nil
+
+	parseStart := obs.Now()
+	if err := l.parseAll(paths); err != nil {
+		return nil, stats, err
+	}
+	stats.ParseSeconds = obs.Since(parseStart).Seconds()
+	if err := l.levelize(); err != nil {
+		return nil, stats, err
+	}
+	checkStart := obs.Now()
+	if err := l.checkAll(); err != nil {
+		return nil, stats, err
+	}
+	stats.CheckSeconds = obs.Since(checkStart).Seconds()
+	stats.Packages = len(l.parsed)
+
+	pkgs := make([]*Package, 0, len(paths))
+	for _, path := range paths {
+		pkgs = append(pkgs, l.pkgs[path])
+	}
+	return pkgs, stats, nil
 }
 
 // walkPackageDirs calls add for every directory under base that contains

@@ -1,0 +1,67 @@
+// Package implreg is the seeded corpus for the implreg analyzer: Job.Impl
+// names and RegisterJobImpl registrations must form a module-wide bijection,
+// and registered builders must be pure — no captures of function-local
+// state, because closures cannot cross the process boundary.
+package implreg
+
+type Runner interface{ Run() }
+
+type Job struct {
+	Name string
+	Impl string
+}
+
+func RegisterJobImpl(name string, build func(spec []byte) Runner) {}
+
+type nopRunner struct{}
+
+func (nopRunner) Run() {}
+
+// defaultSpec is package-level: both processes run the same binary, so the
+// worker sees it too — builders may reference it freely.
+var defaultSpec = []byte("{}")
+
+// --- non-finding shapes -----------------------------------------------
+
+func registerResolved() {
+	RegisterJobImpl("resolved", func(spec []byte) Runner {
+		if len(spec) == 0 {
+			spec = defaultSpec
+		}
+		return nopRunner{}
+	})
+	_ = Job{Name: "local-use", Impl: "resolved"}
+}
+
+// registerCrossPackage is named only by the sibling uses package — the
+// bijection is module-wide, not per-package.
+func registerCrossPackage() {
+	RegisterJobImpl("crosspkg", func(spec []byte) Runner { return nopRunner{} })
+}
+
+// --- finding shapes ---------------------------------------------------
+
+func useUnregistered() Job {
+	return Job{Name: "j", Impl: "missing"} // want "Job.Impl .missing. has no RegisterJobImpl"
+}
+
+func assignUnregistered() Job {
+	var j Job
+	j.Impl = "also-missing" // want "Job.Impl .also-missing. has no RegisterJobImpl"
+	return j
+}
+
+func registerOrphan() {
+	RegisterJobImpl("orphan", func(spec []byte) Runner { return nopRunner{} }) // want "RegisterJobImpl..orphan.. is never named by any Job.Impl site"
+}
+
+func registerCapturing() {
+	retries := 3
+	RegisterJobImpl("capturing", func(spec []byte) Runner {
+		for i := 0; i < retries; i++ { // want "builder for .capturing. captures retries from the enclosing function"
+			_ = i
+		}
+		return nopRunner{}
+	})
+	_ = Job{Name: "c", Impl: "capturing"}
+}

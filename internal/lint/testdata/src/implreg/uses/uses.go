@@ -1,0 +1,10 @@
+// Package uses names a job implementation registered by the parent corpus
+// package: the implreg bijection is checked module-wide, so a registration
+// in one package satisfies an Impl site in another.
+package uses
+
+import implreg "p3cmr/internal/lint/testdata/src/implreg"
+
+func makeCrossPackageJob() implreg.Job {
+	return implreg.Job{Name: "cross", Impl: "crosspkg"}
+}

@@ -1,0 +1,144 @@
+// Package poolsafe is the seeded corpus for the poolsafe analyzer: values
+// drawn from sync.Pool Get or the enginePools get* accessors must stay
+// inside their lifecycle barrier — no stores to globals or through
+// parameter/receiver fields, no channel sends, no slice/map returns that
+// alias the pooled backing array, and no uses after put.
+package poolsafe
+
+import "sync"
+
+var rowPool = sync.Pool{New: func() any { return make([]byte, 0, 64) }}
+
+// enginePools mirrors the mr engine's typed pool accessors. Its own methods
+// are exempt: trafficking in pooled values is their whole purpose.
+type enginePools struct {
+	rows sync.Pool
+}
+
+func (p *enginePools) getRows() []int {
+	return p.rows.Get().([]int) // exempt inside enginePools methods
+}
+
+func (p *enginePools) putRows(r []int) {
+	p.rows.Put(r[:0]) // exempt inside enginePools methods
+}
+
+// --- non-finding shapes -----------------------------------------------
+
+// goodRoundTrip is the canonical lifecycle: get, use, put, return a scalar.
+func goodRoundTrip() int {
+	buf := rowPool.Get().([]byte)
+	buf = append(buf, 1, 2, 3)
+	n := len(buf)
+	rowPool.Put(buf[:0])
+	return n
+}
+
+// goodAccessorRoundTrip uses the typed accessors; append keeps the taint on
+// r but the put releases it before the scalar return.
+func goodAccessorRoundTrip(p *enginePools) int {
+	r := p.getRows()
+	r = append(r, 7)
+	n := len(r)
+	p.putRows(r)
+	return n
+}
+
+type mapState struct{ rows []int }
+
+var statePool = sync.Pool{New: func() any { return new(mapState) }}
+
+// goodPointerReturn hands a pooled *mapState up the call chain — the
+// get→use→put handoff idiom. Only slice/map returns are flagged: a pointer
+// return transfers ownership rather than aliasing a reusable backing array.
+func goodPointerReturn() *mapState {
+	st := statePool.Get().(*mapState)
+	st.rows = st.rows[:0]
+	return st
+}
+
+// goodDeferredPut releases at exit; uses before the return are fine because
+// a deferred put runs after them.
+func goodDeferredPut() int {
+	buf := rowPool.Get().([]byte)
+	defer rowPool.Put(buf)
+	buf = append(buf, 9)
+	return len(buf)
+}
+
+// goodOverwriteAfterPut re-binds the dead handle — overwriting is not a use.
+func goodOverwriteAfterPut() int {
+	buf := rowPool.Get().([]byte)
+	rowPool.Put(buf)
+	buf = make([]byte, 4)
+	return len(buf)
+}
+
+// goodLocalStructStore keeps the pooled value inside a local aggregate; the
+// local now aliases the buffer and the put still ends the lifecycle.
+func goodLocalStructStore() {
+	type frame struct{ data []byte }
+	var f frame
+	buf := rowPool.Get().([]byte)
+	f.data = buf
+	rowPool.Put(f.data)
+}
+
+// --- finding shapes ---------------------------------------------------
+
+var leakedGlobal []byte
+
+// badGlobalAssign leaks through a plain package-level assignment.
+func badGlobalAssign() {
+	buf := rowPool.Get().([]byte)
+	leakedGlobal = buf // want "pooled value stored into package-level leakedGlobal"
+	rowPool.Put(buf)
+}
+
+type frames struct{ last []byte }
+
+var globalFrames frames
+
+// badGlobalFieldStore leaks through a package-level struct field.
+func badGlobalFieldStore() {
+	buf := rowPool.Get().([]byte)
+	globalFrames.last = buf // want "pooled value stored into package-level globalFrames"
+	rowPool.Put(buf)
+}
+
+// badParamFieldStore leaks through a parameter the caller retains.
+func badParamFieldStore(out *frames) {
+	buf := rowPool.Get().([]byte)
+	out.last = buf // want "stored through out.last, which the caller can retain past put"
+	rowPool.Put(buf)
+}
+
+// badChannelSend hands the buffer to a receiver that may hold it past put.
+func badChannelSend(ch chan []byte) {
+	buf := rowPool.Get().([]byte)
+	ch <- buf // want "pooled value buf sent on a channel"
+}
+
+// badSliceReturn returns a slice aliasing the pooled backing array.
+func badSliceReturn() []byte {
+	buf := rowPool.Get().([]byte)
+	buf = append(buf, 1)
+	return buf // want "returning buf aliases a pooled backing array"
+}
+
+// badUseAfterPut reads the handle after releasing it.
+func badUseAfterPut() int {
+	buf := rowPool.Get().([]byte)
+	rowPool.Put(buf)
+	return len(buf) // want "buf used after its pooled value was put back"
+}
+
+// badPutOnOneBranch releases on the done path but keeps using the handle
+// after the merge — a use-after-put on that path.
+func badPutOnOneBranch(p *enginePools, done bool) int {
+	r := p.getRows()
+	if done {
+		p.putRows(r)
+	}
+	return len(r) // want "r used after its pooled value was put back"
+}

@@ -1,0 +1,148 @@
+// Package spanbalance is the seeded corpus for the spanbalance analyzer:
+// every span opened with Tracer.Begin(Start{ID: ...}) must be Ended on all
+// control-flow paths — by a defer, a dominating End, a closing closure, or
+// by handing the span ID to the caller.
+package spanbalance
+
+// Start and End mirror the obs span shapes the analyzer keys on.
+type Start struct {
+	ID     string
+	Parent string
+}
+
+type End struct {
+	ID  string
+	Err string
+}
+
+type Tracer struct{}
+
+func (*Tracer) Begin(s Start) {}
+func (*Tracer) End(e End)     {}
+
+// --- non-finding shapes -----------------------------------------------
+
+// goodDefer discharges the obligation with a deferred End: defers run on
+// every exit.
+func goodDefer(tr *Tracer, work func() error) error {
+	tr.Begin(Start{ID: "job"})
+	defer tr.End(End{ID: "job"})
+	return work()
+}
+
+// goodStraightLine Ends on the single path through the function.
+func goodStraightLine(tr *Tracer) {
+	tr.Begin(Start{ID: "step"})
+	tr.End(End{ID: "step"})
+}
+
+// goodBothBranches Ends on the early-error path and on the fallthrough.
+func goodBothBranches(tr *Tracer, err error) error {
+	tr.Begin(Start{ID: "both"})
+	if err != nil {
+		tr.End(End{ID: "both", Err: err.Error()})
+		return err
+	}
+	tr.End(End{ID: "both"})
+	return nil
+}
+
+// goodGuardedPair is the ubiquitous nil-guarded idiom: Begin runs only when
+// tr != nil, so on every path where the span is open the second guard's
+// false edge is contradicted and the End must execute.
+func goodGuardedPair(tr *Tracer, work func()) {
+	if tr != nil {
+		tr.Begin(Start{ID: "guarded"})
+	}
+	work()
+	if tr != nil {
+		tr.End(End{ID: "guarded"})
+	}
+}
+
+// goodClosure closes through a local closure on both the error path and the
+// fallthrough (the engine's endJobErr idiom).
+func goodClosure(tr *Tracer, fail bool) {
+	finish := func() { tr.End(End{ID: "closure"}) }
+	tr.Begin(Start{ID: "closure"})
+	if fail {
+		finish()
+		return
+	}
+	finish()
+}
+
+// goodEndVar Ends through a variable whose reaching definition is the
+// matching End literal.
+func goodEndVar(tr *Tracer, err error) {
+	tr.Begin(Start{ID: "endvar"})
+	e := End{ID: "endvar"}
+	if err != nil {
+		e.Err = err.Error()
+	}
+	tr.End(e)
+}
+
+// goodPanicPath may panic with the span open — abnormal termination waives
+// the obligation (the tracer's forest is torn down with the process).
+func goodPanicPath(tr *Tracer, corrupt bool) {
+	tr.Begin(Start{ID: "panicky"})
+	if corrupt {
+		panic("corrupt input")
+	}
+	tr.End(End{ID: "panicky"})
+}
+
+// phaseScope carries a span ID to the caller.
+type phaseScope struct{ span string }
+
+// goodHandoff returns the scope holding the span ID: ownership (and the
+// closing obligation) transfers to the caller, so no finding here.
+func goodHandoff(tr *Tracer, name string) *phaseScope {
+	ps := &phaseScope{span: name}
+	tr.Begin(Start{ID: ps.span})
+	return ps
+}
+
+// --- finding shapes ---------------------------------------------------
+
+// badEarlyReturn leaks the span on the error path.
+func badEarlyReturn(tr *Tracer, err error) error {
+	tr.Begin(Start{ID: "early"}) // want "span .early. begun here is not Ended on every path: return at line"
+	if err != nil {
+		return err
+	}
+	tr.End(End{ID: "early"})
+	return nil
+}
+
+// badFallsOff never Ends at all.
+func badFallsOff(tr *Tracer, work func()) {
+	tr.Begin(Start{ID: "openend"}) // want "not Ended on every path: control falls off the end"
+	work()
+}
+
+// badLoopReBegin re-Begins the same span on the loop back edge while the
+// previous iteration's span is still open.
+func badLoopReBegin(tr *Tracer, tasks []string) {
+	for range tasks {
+		tr.Begin(Start{ID: "iter"}) // want "not Ended on every path"
+	}
+}
+
+// badWrongID Ends a different span: the open one is never closed.
+func badWrongID(tr *Tracer) {
+	tr.Begin(Start{ID: "mine"}) // want "span .mine. begun here is not Ended on every path"
+	tr.End(End{ID: "other"})
+}
+
+// badClosureNotCalled defines a closing closure but returns without calling
+// it on one path.
+func badClosureNotCalled(tr *Tracer, fail bool) {
+	finish := func() { tr.End(End{ID: "skipped"}) }
+	tr.Begin(Start{ID: "skipped"}) // want "not Ended on every path"
+	if fail {
+		return
+	}
+	finish()
+}

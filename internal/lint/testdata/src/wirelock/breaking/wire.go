@@ -1,0 +1,14 @@
+// Package breaking is the wirelock corpus's violation shape: the frame tags
+// swapped values and a field was inserted before an existing one — old gob
+// decoders on the other side of the pipe would desynchronize.
+package breaking
+
+const (
+	fJob   byte = 1 // want "append-only wire-protocol violation vs wire.lock"
+	fHello byte = 2
+)
+
+type helloFrame struct {
+	Seq int
+	PID int
+}

@@ -1,0 +1,20 @@
+// Package clean is the wirelock corpus's no-diff shape: the committed
+// wire.lock matches the current surface exactly, so the analyzer is silent.
+package clean
+
+const (
+	fHello byte = 1
+	fJob   byte = 2
+)
+
+// versionName is an untyped const block — not part of the wire surface.
+const versionName = "v1"
+
+type helloFrame struct {
+	PID int
+}
+
+type jobFrame struct {
+	Name string
+	Spec []byte
+}

@@ -1,0 +1,20 @@
+// Package extended is the wirelock corpus's append shape: a new trailing
+// frame tag, a new trailing struct field, and a whole new struct since the
+// committed lock. Pure extension — reported as a reminder to bless the bump
+// with `p3cvet -write`, not as a break.
+package extended
+
+const (
+	fHello byte = 1 // want "wire surface extended since wire.lock"
+	fJob   byte = 2
+	fAck   byte = 3
+)
+
+type helloFrame struct {
+	PID  int
+	Mode string
+}
+
+type ackFrame struct {
+	Seq int
+}

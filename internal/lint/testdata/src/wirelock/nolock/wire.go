@@ -1,0 +1,11 @@
+// Package nolock is the wirelock corpus's missing-fingerprint shape: a wire
+// surface exists but no wire.lock was ever committed.
+package nolock
+
+const (
+	fHello byte = 1 // want "package has a wire surface .wire.go. but no committed wire.lock"
+)
+
+type helloFrame struct {
+	PID int
+}

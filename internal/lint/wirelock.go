@@ -1,0 +1,311 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// WireLock enforces append-only evolution of the multiprocess wire protocol.
+// gob ships a full type descriptor with the first value of each type, so a
+// NEW field appended to a frame struct is backward-compatible — but changing
+// a frame tag's value, reordering tags, or inserting/reordering/retyping
+// struct fields silently desynchronizes driver and worker builds (PR 5's
+// framing contract). The analyzer derives a schema fingerprint from wire.go
+// — every byte-typed constant block (frame tags, value kinds) plus every
+// struct's field order and types — and diffs it against the committed
+// wire.lock. Pure extensions report as a reminder to bless the bump with
+// `p3cvet -write`; anything else reports as a protocol break. -write itself
+// refuses to regenerate over a breaking diff, so the lock cannot be
+// laundered.
+var WireLock = &Analyzer{
+	Name: "wirelock",
+	Doc:  "wire.go frame tags and gob frame structs are append-only, fingerprinted against the committed wire.lock",
+	Run:  runWireLock,
+}
+
+// WireLockFile is the committed fingerprint's file name, sibling to wire.go.
+const WireLockFile = "wire.lock"
+
+// wireSchema is the orderly fingerprint of a package's wire surface.
+type wireSchema struct {
+	consts  []string // "const fHello = 1", source order across byte-const blocks
+	structs []wireStruct
+}
+
+type wireStruct struct {
+	name   string
+	fields []string // "PID int", source order
+}
+
+func runWireLock(pass *Pass) {
+	schema, anchor := wireSchemaFrom(pass.Files, pass.Fset, pass.Pkg)
+	if schema == nil {
+		return
+	}
+	data, err := os.ReadFile(filepath.Join(pass.Dir, WireLockFile))
+	if err != nil {
+		pass.Reportf(anchor,
+			"package has a wire surface (wire.go) but no committed %s — generate the fingerprint with `p3cvet -write`",
+			WireLockFile)
+		return
+	}
+	locked := parseWireLock(string(data))
+	verdict, details := classifyWireDiff(locked, schema)
+	switch verdict {
+	case wireAppend:
+		pass.Reportf(anchor,
+			"wire surface extended since %s (%s) — if the protocol bump is intentional, bless it with `p3cvet -write`",
+			WireLockFile, strings.Join(details, "; "))
+	case wireBreaking:
+		pass.Reportf(anchor,
+			"append-only wire-protocol violation vs %s: %s — existing frame tags and struct fields must keep their values, order, and types (old gob decoders break otherwise)",
+			WireLockFile, strings.Join(details, "; "))
+	}
+}
+
+// wireSchemaFrom fingerprints the package's wire.go, returning nil when the
+// package has no wire surface. The anchor is a stable position for findings
+// (the first frame constant, else the file).
+func wireSchemaFrom(files []*ast.File, fset *token.FileSet, tpkg *types.Package) (*wireSchema, token.Pos) {
+	var wire *ast.File
+	for _, f := range files {
+		if filepath.Base(fset.Position(f.Pos()).Filename) == "wire.go" {
+			wire = f
+			break
+		}
+	}
+	if wire == nil {
+		return nil, token.NoPos
+	}
+	schema := &wireSchema{}
+	anchor := wire.Pos()
+	anchored := false
+	for _, decl := range wire.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		switch gd.Tok {
+		case token.CONST:
+			if !byteConstBlock(gd) {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !anchored {
+						anchor = name.Pos()
+						anchored = true
+					}
+					schema.consts = append(schema.consts,
+						fmt.Sprintf("const %s = %s", name.Name, constValue(tpkg, name.Name)))
+				}
+			}
+		case token.TYPE:
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				ws := wireStruct{name: ts.Name.Name}
+				for _, field := range st.Fields.List {
+					typeStr := types.ExprString(field.Type)
+					if len(field.Names) == 0 {
+						ws.fields = append(ws.fields, typeStr) // embedded
+						continue
+					}
+					for _, n := range field.Names {
+						ws.fields = append(ws.fields, n.Name+" "+typeStr)
+					}
+				}
+				schema.structs = append(schema.structs, ws)
+			}
+		}
+	}
+	if len(schema.consts) == 0 && len(schema.structs) == 0 {
+		return nil, token.NoPos
+	}
+	return schema, anchor
+}
+
+// byteConstBlock reports whether the const block's first typed spec declares
+// byte constants — the frame-tag / value-kind shape.
+func byteConstBlock(gd *ast.GenDecl) bool {
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		if vs.Type == nil {
+			continue
+		}
+		id, ok := vs.Type.(*ast.Ident)
+		return ok && (id.Name == "byte" || id.Name == "uint8")
+	}
+	return false
+}
+
+// constValue renders the constant's checked value, or "?" when the package
+// did not type-check.
+func constValue(tpkg *types.Package, name string) string {
+	if tpkg == nil {
+		return "?"
+	}
+	obj := tpkg.Scope().Lookup(name)
+	c, ok := obj.(*types.Const)
+	if !ok {
+		return "?"
+	}
+	if v, exact := constant.Int64Val(c.Val()); exact {
+		return fmt.Sprintf("%d", v)
+	}
+	return c.Val().String()
+}
+
+// RenderWireLock serializes the fingerprint in the committed lock format.
+func renderWireLock(s *wireSchema) string {
+	var sb strings.Builder
+	sb.WriteString("# p3cmr wire-protocol schema lock (wirelock v1).\n")
+	sb.WriteString("# Regenerate after an intentional, append-only protocol bump:\n")
+	sb.WriteString("#   go run ./cmd/p3cvet -write ./internal/mr\n")
+	for _, c := range s.consts {
+		sb.WriteString(c)
+		sb.WriteByte('\n')
+	}
+	for _, st := range s.structs {
+		sb.WriteString("struct " + st.name + "\n")
+		for _, f := range st.fields {
+			sb.WriteString("\t" + f + "\n")
+		}
+	}
+	return sb.String()
+}
+
+// parseWireLock reads the lock format back into a schema. Unknown lines are
+// ignored so the format can grow its own footer commentary.
+func parseWireLock(data string) *wireSchema {
+	s := &wireSchema{}
+	var cur *wireStruct
+	for _, line := range strings.Split(data, "\n") {
+		switch {
+		case strings.HasPrefix(line, "#") || strings.TrimSpace(line) == "":
+			continue
+		case strings.HasPrefix(line, "const "):
+			s.consts = append(s.consts, line)
+			cur = nil
+		case strings.HasPrefix(line, "struct "):
+			s.structs = append(s.structs, wireStruct{name: strings.TrimPrefix(line, "struct ")})
+			cur = &s.structs[len(s.structs)-1]
+		case strings.HasPrefix(line, "\t") && cur != nil:
+			cur.fields = append(cur.fields, strings.TrimPrefix(line, "\t"))
+		}
+	}
+	return s
+}
+
+type wireVerdict int
+
+const (
+	wireSame wireVerdict = iota
+	wireAppend
+	wireBreaking
+)
+
+// classifyWireDiff compares the committed schema against the current one.
+// The result is wireSame, wireAppend (pure extension — new trailing consts,
+// new trailing fields, new structs), or wireBreaking (anything touching
+// existing entries).
+func classifyWireDiff(locked, current *wireSchema) (wireVerdict, []string) {
+	var appends, breaks []string
+
+	for i, c := range locked.consts {
+		if i >= len(current.consts) {
+			breaks = append(breaks, fmt.Sprintf("%q removed", c))
+			continue
+		}
+		if current.consts[i] != c {
+			breaks = append(breaks, fmt.Sprintf("%q is now %q (changed or reordered)", c, current.consts[i]))
+		}
+	}
+	for i := len(locked.consts); i < len(current.consts); i++ {
+		appends = append(appends, fmt.Sprintf("%q appended", current.consts[i]))
+	}
+
+	lockedStructs := make(map[string]wireStruct, len(locked.structs))
+	for _, st := range locked.structs {
+		lockedStructs[st.name] = st
+	}
+	seen := make(map[string]bool, len(current.structs))
+	for _, st := range current.structs {
+		seen[st.name] = true
+		old, ok := lockedStructs[st.name]
+		if !ok {
+			appends = append(appends, fmt.Sprintf("new struct %s", st.name))
+			continue
+		}
+		for i, f := range old.fields {
+			if i >= len(st.fields) {
+				breaks = append(breaks, fmt.Sprintf("struct %s: field %q removed", st.name, f))
+				continue
+			}
+			if st.fields[i] != f {
+				breaks = append(breaks, fmt.Sprintf("struct %s: field %q is now %q (inserted, reordered, or retyped)", st.name, f, st.fields[i]))
+			}
+		}
+		for i := len(old.fields); i < len(st.fields); i++ {
+			appends = append(appends, fmt.Sprintf("struct %s: field %q appended", st.name, st.fields[i]))
+		}
+	}
+	for _, st := range locked.structs {
+		if !seen[st.name] {
+			breaks = append(breaks, fmt.Sprintf("struct %s removed", st.name))
+		}
+	}
+
+	switch {
+	case len(breaks) > 0:
+		return wireBreaking, breaks
+	case len(appends) > 0:
+		return wireAppend, appends
+	}
+	return wireSame, nil
+}
+
+// RegenerateWireLocks writes (or rewrites) wire.lock for every loaded
+// package with a wire surface — the `p3cvet -write` path for intentional
+// protocol bumps. A breaking diff against an existing lock is refused: the
+// append-only rule cannot be blessed away, only extended.
+func RegenerateWireLocks(pkgs []*Package) ([]string, error) {
+	var written []string
+	for _, pkg := range pkgs {
+		schema, _ := wireSchemaFrom(pkg.Files, pkg.Fset, pkg.Types)
+		if schema == nil {
+			continue
+		}
+		lockPath := filepath.Join(pkg.Dir, WireLockFile)
+		if data, err := os.ReadFile(lockPath); err == nil {
+			if verdict, details := classifyWireDiff(parseWireLock(string(data)), schema); verdict == wireBreaking {
+				return written, fmt.Errorf("lint: refusing to regenerate %s over an append-only violation: %s",
+					lockPath, strings.Join(details, "; "))
+			}
+		}
+		if err := os.WriteFile(lockPath, []byte(renderWireLock(schema)), 0o644); err != nil {
+			return written, fmt.Errorf("lint: %w", err)
+		}
+		written = append(written, lockPath)
+	}
+	return written, nil
+}

@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a throwaway module on disk for end-to-end loader
+// runs — the regeneration and mutation tests edit wire surfaces and code
+// shapes that must not live inside the real module.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const testGoMod = "module m\n\ngo 1.22\n"
+
+// loadAndRun loads the whole throwaway module and runs the given analyzers.
+func loadAndRun(t *testing.T, dir string, analyzers []*Analyzer) []Finding {
+	t.Helper()
+	pkgs, err := Load(dir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("fixture %s does not type-check: %v", pkg.Path, terr)
+		}
+	}
+	return Run(pkgs, analyzers)
+}
+
+const wireV1 = `package wire
+
+const (
+	fHello byte = 1
+	fJob   byte = 2
+)
+
+type helloFrame struct {
+	PID int
+}
+`
+
+// TestWireLockRegenerateLifecycle walks the full -write lifecycle: a fresh
+// wire surface has no lock (finding), regeneration writes one (clean), an
+// appended frame tag is reported until regenerated again (clean after).
+func TestWireLockRegenerateLifecycle(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":       testGoMod,
+		"wire/wire.go": wireV1,
+	})
+
+	findings := loadAndRun(t, dir, []*Analyzer{WireLock})
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "no committed wire.lock") {
+		t.Fatalf("fresh surface: got %v, want one missing-lock finding", findings)
+	}
+
+	pkgs, err := Load(dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	written, err := RegenerateWireLocks(pkgs)
+	if err != nil {
+		t.Fatalf("RegenerateWireLocks: %v", err)
+	}
+	if len(written) != 1 || filepath.Base(written[0]) != WireLockFile {
+		t.Fatalf("RegenerateWireLocks wrote %v, want one %s", written, WireLockFile)
+	}
+	if findings := loadAndRun(t, dir, []*Analyzer{WireLock}); len(findings) != 0 {
+		t.Fatalf("after -write: got %v, want no findings", findings)
+	}
+
+	// Append-only bump: a new trailing frame tag and a new trailing field.
+	appended := strings.Replace(wireV1, "\tfJob   byte = 2\n", "\tfJob   byte = 2\n\tfAck   byte = 3\n", 1)
+	appended = strings.Replace(appended, "\tPID int\n", "\tPID int\n\tMode string\n", 1)
+	if err := os.WriteFile(filepath.Join(dir, "wire", "wire.go"), []byte(appended), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings = loadAndRun(t, dir, []*Analyzer{WireLock})
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "wire surface extended") {
+		t.Fatalf("appended surface: got %v, want one extension finding", findings)
+	}
+	pkgs, err = Load(dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RegenerateWireLocks(pkgs); err != nil {
+		t.Fatalf("RegenerateWireLocks over a pure append: %v", err)
+	}
+	if findings := loadAndRun(t, dir, []*Analyzer{WireLock}); len(findings) != 0 {
+		t.Fatalf("after blessing the append: got %v, want no findings", findings)
+	}
+}
+
+// TestWireLockWriteRefusesBreakingDiff pins that -write cannot launder an
+// append-only violation: regeneration over an inserted field fails and the
+// committed lock is left byte-identical.
+func TestWireLockWriteRefusesBreakingDiff(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":       testGoMod,
+		"wire/wire.go": wireV1,
+	})
+	pkgs, err := Load(dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RegenerateWireLocks(pkgs); err != nil {
+		t.Fatal(err)
+	}
+	lockPath := filepath.Join(dir, "wire", WireLockFile)
+	before, err := os.ReadFile(lockPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Insert a field ahead of PID — old gob decoders would desynchronize.
+	broken := strings.Replace(wireV1, "\tPID int\n", "\tSeq int\n\tPID int\n", 1)
+	if err := os.WriteFile(filepath.Join(dir, "wire", "wire.go"), []byte(broken), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings := loadAndRun(t, dir, []*Analyzer{WireLock})
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "append-only wire-protocol violation") {
+		t.Fatalf("inserted field: got %v, want one violation finding", findings)
+	}
+
+	pkgs, err = Load(dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RegenerateWireLocks(pkgs); err == nil || !strings.Contains(err.Error(), "refusing to regenerate") {
+		t.Fatalf("RegenerateWireLocks over a breaking diff: err = %v, want a refusal", err)
+	}
+	after, err := os.ReadFile(lockPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(before) {
+		t.Error("refused regeneration still modified the committed lock")
+	}
+}
+
+// TestWireLockRoundTrip pins that the rendered lock format parses back into
+// an identical schema — the comparison's ground truth.
+func TestWireLockRoundTrip(t *testing.T) {
+	s := &wireSchema{
+		consts: []string{"const fHello = 1", "const fJob = 2"},
+		structs: []wireStruct{
+			{name: "helloFrame", fields: []string{"PID int"}},
+			{name: "jobFrame", fields: []string{"Name string", "Spec []byte"}},
+		},
+	}
+	verdict, details := classifyWireDiff(parseWireLock(renderWireLock(s)), s)
+	if verdict != wireSame {
+		t.Errorf("render/parse round trip drifted: %v", details)
+	}
+}
