@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet lint lint-fix-check build test race bench bench-diff chaos chaos-proc trace ops ops-proc trace-demo ops-demo trace-analyze proc-demo
+.PHONY: ci vet lint lint-fix-check build test race bench bench-diff chaos chaos-proc trace ops ops-proc trace-diff trace-demo ops-demo trace-analyze proc-demo
 
-ci: vet lint build test race chaos chaos-proc trace ops ops-proc bench bench-diff
+ci: vet lint build test race chaos chaos-proc trace ops ops-proc trace-diff bench bench-diff
 
 vet:
 	$(GO) vet ./...
@@ -75,20 +75,38 @@ ops-proc:
 	$(GO) test -race -run 'MultiprocTelemetry|OpsProc|Workers|WorkerTelemetry|ParseTrace|ClassifyAndTimeline' \
 		./internal/mr/ ./internal/obs/ ./cmd/p3ctrace/
 
+# Run-archive + trace-diff regression gate, end to end through the real
+# CLIs: archive a clean run and a straggler-seeded run of the same data
+# into two archive roots, then assert `p3ctrace -diff` attributes the
+# regression and exits nonzero (the `!` inverts it), and that a self-diff
+# passes. Deterministic: straggler charge is simulated (seeded, sim-only),
+# so the flagged delta is exact across machines.
+trace-diff:
+	rm -rf /tmp/p3c-archive-a /tmp/p3c-archive-b
+	$(GO) run ./cmd/p3cgen -out /tmp/p3c-diff-demo.bin -n 3000 -dim 10 -clusters 3
+	$(GO) run ./cmd/p3crun -in /tmp/p3c-diff-demo.bin -algo mr-light -simulate \
+		-archive /tmp/p3c-archive-a
+	$(GO) run ./cmd/p3crun -in /tmp/p3c-diff-demo.bin -algo mr-light -simulate \
+		-chaos-straggler 0.5 -chaos-straggler-s 2 -archive /tmp/p3c-archive-b
+	! $(GO) run ./cmd/p3ctrace -diff -straggler-threshold 1 \
+		/tmp/p3c-archive-a /tmp/p3c-archive-b
+	$(GO) run ./cmd/p3ctrace -diff -straggler-threshold 0 -sim-threshold 0 \
+		/tmp/p3c-archive-a /tmp/p3c-archive-a
+
 # Benchmarks with a machine-readable summary: benchjson tees the raw
-# output through and writes BENCH_PR9.json for cross-PR baseline diffs.
+# output through and writes BENCH_PR10.json for cross-PR baseline diffs.
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x -benchmem ./internal/mr/ \
-		| $(GO) run ./cmd/benchjson -o BENCH_PR9.json
+		| $(GO) run ./cmd/benchjson -o BENCH_PR10.json
 
 # Compare this PR's benchmark baseline against the previous PR's; exits
 # nonzero on a regression beyond the (deliberately loose, -benchtime 1x is
-# noisy) thresholds. PR 9 only grows the static-analysis suite — nothing on
-# the engine's data plane changed — so the micro-benchmarks are held to
-# PR 8's ns/op and allocs/op envelopes.
+# noisy) thresholds. PR 10's archive/convergence telemetry is driver-side
+# and guarded by the nil-tracer contract, so the engine micro-benchmarks
+# are held to PR 9's ns/op and allocs/op envelopes.
 bench-diff:
 	$(GO) run ./cmd/benchjson -diff -threshold 0.75 -alloc-threshold 0.25 \
-		BENCH_PR8.json BENCH_PR9.json
+		BENCH_PR9.json BENCH_PR10.json
 
 # End-to-end trace demo: generate a small data set, cluster it with
 # tracing, the per-job report, and the cost model enabled, then show the

@@ -11,6 +11,8 @@ package main
 
 import (
 	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +29,7 @@ import (
 	"p3cmr/internal/dataset"
 	"p3cmr/internal/mr"
 	"p3cmr/internal/obs"
+	"p3cmr/internal/obs/archive"
 )
 
 func main() {
@@ -35,31 +38,35 @@ func main() {
 	// never returns in that case.
 	mr.MaybeWorkerProcess()
 	var (
-		in        = flag.String("in", "", "input data file (required)")
-		format    = flag.String("format", "bin", "input format: bin|csv")
-		algo      = flag.String("algo", "mr-light", "algorithm: p3c|p3c+|mr-mvb|mr-naive|mr-light|bow-light|bow-mvb")
-		labelsOut = flag.String("labels", "", "write per-point labels to this file")
-		theta     = flag.Float64("theta", 0, "override effect-size threshold θcc")
-		alphaPoi  = flag.Float64("alpha-poi", 0, "override Poisson significance level")
-		alphaChi  = flag.Float64("alpha-chi", 0, "override chi-square significance level")
-		splits    = flag.Int("splits", 0, "input splits (0 = default)")
-		simulate  = flag.Bool("simulate", false, "report modeled cluster runtime (112-reducer cost model)")
-		normalize = flag.Bool("normalize", false, "min-max normalize attributes to [0,1] first")
-		jsonOut   = flag.Bool("json", false, "emit the result as JSON on stdout")
-		members   = flag.Bool("members", false, "include member lists in JSON output")
-		jobStats  = flag.Bool("jobstats", false, "print per-job MapReduce statistics")
-		traceOut  = flag.String("trace", "", "write a JSONL span trace of the run to this file")
-		report    = flag.Bool("report", false, "print a per-phase/per-job observability report after the run")
-		metrics   = flag.Bool("metrics", false, "print an engine metrics snapshot after the run")
-		opsAddr   = flag.String("ops", "", "serve the live ops plane (/metrics, /runs, /healthz, /debug/pprof/) on this address, e.g. :9090")
-		opsLinger = flag.Duration("ops-linger", 0, "keep the ops server up this long after the run finishes")
-		flightN   = flag.Int("flight", 0, "record the last N trace events in a flight recorder (0 = off)")
-		flightOut = flag.String("flight-out", "", "flight-recorder post-mortem path (implies -flight; also dumped on success at exit)")
-		backend   = flag.String("backend", "", "execution backend: inprocess|multiprocess|simulated (default inprocess)")
-		spillDir  = flag.String("spill-dir", "", "multiprocess backend: directory for shuffle spill files (default os temp)")
-		spillMB   = flag.Int("spill-mb", 0, "multiprocess backend: per-map-task in-memory shuffle budget in MiB before spilling (0 = default, 1 gives the smallest budget)")
-		chaos     = flag.Float64("chaos", 0, "inject seeded task faults at this rate per phase (exercises retries; output is unchanged)")
-		demo      = flag.Bool("demo", false, "run the built-in histogram demo job on the selected backend instead of clustering")
+		in          = flag.String("in", "", "input data file (required)")
+		format      = flag.String("format", "bin", "input format: bin|csv")
+		algo        = flag.String("algo", "mr-light", "algorithm: p3c|p3c+|mr-mvb|mr-naive|mr-light|bow-light|bow-mvb")
+		labelsOut   = flag.String("labels", "", "write per-point labels to this file")
+		theta       = flag.Float64("theta", 0, "override effect-size threshold θcc")
+		alphaPoi    = flag.Float64("alpha-poi", 0, "override Poisson significance level")
+		alphaChi    = flag.Float64("alpha-chi", 0, "override chi-square significance level")
+		splits      = flag.Int("splits", 0, "input splits (0 = default)")
+		simulate    = flag.Bool("simulate", false, "report modeled cluster runtime (112-reducer cost model)")
+		normalize   = flag.Bool("normalize", false, "min-max normalize attributes to [0,1] first")
+		jsonOut     = flag.Bool("json", false, "emit the result as JSON on stdout")
+		members     = flag.Bool("members", false, "include member lists in JSON output")
+		jobStats    = flag.Bool("jobstats", false, "print per-job MapReduce statistics")
+		traceOut    = flag.String("trace", "", "write a JSONL span trace of the run to this file")
+		report      = flag.Bool("report", false, "print a per-phase/per-job observability report after the run")
+		metrics     = flag.Bool("metrics", false, "print an engine metrics snapshot after the run")
+		opsAddr     = flag.String("ops", "", "serve the live ops plane (/metrics, /runs, /healthz, /debug/pprof/) on this address, e.g. :9090")
+		opsLinger   = flag.Duration("ops-linger", 0, "keep the ops server up this long after the run finishes")
+		flightN     = flag.Int("flight", 0, "record the last N trace events in a flight recorder (0 = off)")
+		flightOut   = flag.String("flight-out", "", "flight-recorder post-mortem path (implies -flight; also dumped on success at exit)")
+		backend     = flag.String("backend", "", "execution backend: inprocess|multiprocess|simulated (default inprocess)")
+		spillDir    = flag.String("spill-dir", "", "multiprocess backend: directory for shuffle spill files (default os temp)")
+		spillMB     = flag.Int("spill-mb", 0, "multiprocess backend: per-map-task in-memory shuffle budget in MiB before spilling (0 = default, 1 gives the smallest budget)")
+		chaos       = flag.Float64("chaos", 0, "inject seeded task faults at this rate per phase (exercises retries; output is unchanged)")
+		chaosStrag  = flag.Float64("chaos-straggler", 0, "charge seeded simulated straggler delays at this rate per attempt (output is unchanged)")
+		chaosStragS = flag.Float64("chaos-straggler-s", 2, "simulated seconds charged per injected straggler")
+		archiveDir  = flag.String("archive", "", "seal the traced run into this content-addressed archive directory (implies tracing)")
+		archiveKeep = flag.Int("archive-keep", 0, "archive retention: keep only the newest N records (0 = keep all)")
+		demo        = flag.Bool("demo", false, "run the built-in histogram demo job on the selected backend instead of clustering")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -91,15 +98,38 @@ func main() {
 	if *flightOut != "" && *flightN == 0 {
 		*flightN = obs.DefaultFlightLimit
 	}
+	var arch *archive.Archive
+	if *archiveDir != "" {
+		var err error
+		arch, err = archive.Open(*archiveDir)
+		if err != nil {
+			fatal(err)
+		}
+		if *traceOut == "" {
+			// Archiving needs a trace stream; stage one in a temp file that
+			// the seal consumes.
+			tmp, err := os.CreateTemp("", "p3crun-trace-*.jsonl")
+			if err != nil {
+				fatal(err)
+			}
+			tmp.Close()
+			*traceOut = tmp.Name()
+			defer os.Remove(tmp.Name())
+		}
+	}
 	if *jobStats || *simulate || *traceOut != "" || *report || *metrics ||
 		*opsAddr != "" || *flightN > 0 || *backend != "" || *spillDir != "" ||
-		*spillMB > 0 || *chaos > 0 || *demo {
+		*spillMB > 0 || *chaos > 0 || *chaosStrag > 0 || *demo {
 		ec := mr.Config{Backend: *backend, SpillDir: *spillDir}
 		if *spillMB > 0 {
 			ec.SpillThresholdBytes = int64(*spillMB) << 20
 		}
-		if *chaos > 0 {
-			ec.Faults = mr.RateFaultPlan{MapRate: *chaos, CombineRate: *chaos, ReduceRate: *chaos, Seed: 1}
+		if *chaos > 0 || *chaosStrag > 0 {
+			ec.Faults = mr.RateFaultPlan{
+				MapRate: *chaos, CombineRate: *chaos, ReduceRate: *chaos,
+				StragglerRate: *chaosStrag, StragglerSeconds: *chaosStragS,
+				Seed: 1,
+			}
 			ec.MaxAttempts = 12
 		}
 		if *simulate {
@@ -144,7 +174,11 @@ func main() {
 	}
 	if *opsAddr != "" {
 		var err error
-		ops, err = obs.StartOps(*opsAddr, registry, progress, workers)
+		var lister obs.ArchiveLister
+		if arch != nil {
+			lister = arch
+		}
+		ops, err = obs.StartOps(*opsAddr, registry, progress, workers, lister)
 		if err != nil {
 			fatal(err)
 		}
@@ -181,14 +215,62 @@ func main() {
 			os.Exit(code)
 		}()
 	}
-	// finishObs flushes the trace file and prints the report and metrics
-	// snapshot (when requested). Shared by the demo, JSON and text paths.
+	// Manifest identity for -archive: fingerprint the input bytes and the
+	// effective parameters before the run mutates anything.
+	var paramsHash, dataFP string
+	if arch != nil {
+		fp, err := fileSHA256(*in)
+		if err != nil {
+			fatal(err)
+		}
+		dataFP = fp
+		paramsHash = hashParams(paramsFor(alg), *theta, *alphaPoi, *alphaChi, *splits)
+	}
+	wallStart := obs.Now()
+	// finishObs flushes the trace file, prints the report and metrics
+	// snapshot (when requested), and seals the run into the archive.
+	// Shared by the demo, JSON and text paths.
 	finishObs := func() {
 		if jsonl != nil {
 			if err := jsonl.Close(); err != nil {
 				fatal(fmt.Errorf("writing trace: %w", err))
 			}
 			fmt.Fprintf(os.Stderr, "trace written to %s\n", *traceOut)
+		}
+		if arch != nil {
+			name := "p3c-pipeline"
+			if *demo {
+				name = "demo"
+			}
+			backendName := *backend
+			if backendName == "" {
+				backendName = "inprocess"
+			}
+			m := archive.Manifest{
+				Name:               name,
+				Backend:            backendName,
+				SpillDir:           *spillDir,
+				SpillLimitBytes:    int64(*spillMB) << 20,
+				ParamsHash:         paramsHash,
+				DatasetFingerprint: dataFP,
+				Outcome:            "ok",
+				WallSeconds:        obs.Since(wallStart).Seconds(),
+			}
+			if engine != nil {
+				m.SimulatedSeconds = engine.TotalSimulatedSeconds()
+				m.Counters = engine.TotalCounters()
+				m.Wasted = engine.TotalWasted()
+			}
+			sealed, err := arch.Seal(*traceOut, m)
+			if err != nil {
+				fatal(err)
+			}
+			if *archiveKeep > 0 {
+				if err := arch.Prune(*archiveKeep); err != nil {
+					fatal(err)
+				}
+			}
+			fmt.Fprintf(os.Stderr, "run archived as %s (seq %d) under %s\n", sealed.ID, sealed.Seq, arch.Root())
 		}
 		if collector != nil {
 			collector.WriteReport(os.Stderr)
@@ -363,6 +445,40 @@ func writeLabels(path string, labels []int) error {
 		return err
 	}
 	return f.Close()
+}
+
+// fileSHA256 fingerprints the input data set for the archive manifest.
+func fileSHA256(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil))[:archive.IDLen], nil
+}
+
+// hashParams fingerprints the effective algorithm parameters (base params
+// plus the CLI overrides) so two archived records can be checked for
+// experiment identity without re-parsing flags.
+func hashParams(p core.Params, theta, alphaPoi, alphaChi float64, splits int) string {
+	if theta > 0 {
+		p.ThetaCC = theta
+	}
+	if alphaPoi > 0 {
+		p.AlphaPoisson = alphaPoi
+	}
+	if alphaChi > 0 {
+		p.AlphaChi2 = alphaChi
+	}
+	if splits > 0 {
+		p.NumSplits = splits
+	}
+	h := sha256.Sum256([]byte(fmt.Sprintf("%#v", p)))
+	return hex.EncodeToString(h[:])[:archive.IDLen]
 }
 
 func fatal(err error) {

@@ -13,22 +13,23 @@ import (
 // traceEvent mirrors the JSONL wire format of obs.JSONLTracer (and the
 // flight recorder's post-mortem dumps): one JSON object per event.
 type traceEvent struct {
-	Ev      string        `json:"ev"`
-	TS      float64       `json:"ts"`
-	ID      int64         `json:"id"`
-	Parent  int64         `json:"parent"`
-	Span    int64         `json:"span"`
-	Kind    string        `json:"kind"`
-	Name    string        `json:"name"`
-	Task    *int          `json:"task"`
-	Attempt int           `json:"attempt"`
-	Phase   string        `json:"phase"`
-	Point   string        `json:"point"`
-	Outcome string        `json:"outcome"`
-	Err     string        `json:"err"`
-	RealS   float64       `json:"real_s"`
-	SimS    float64       `json:"sim_s"`
-	Seconds float64       `json:"seconds"`
+	Ev      string              `json:"ev"`
+	TS      float64             `json:"ts"`
+	ID      int64               `json:"id"`
+	Parent  int64               `json:"parent"`
+	Span    int64               `json:"span"`
+	Kind    string              `json:"kind"`
+	Name    string              `json:"name"`
+	Task    *int                `json:"task"`
+	Attempt int                 `json:"attempt"`
+	Phase   string              `json:"phase"`
+	Point   string              `json:"point"`
+	Outcome string              `json:"outcome"`
+	Err     string              `json:"err"`
+	RealS   float64             `json:"real_s"`
+	SimS    float64             `json:"sim_s"`
+	Seconds float64             `json:"seconds"`
+	Value   float64             `json:"value"`
 	Retries int64               `json:"retries"`
 	Worker  string              `json:"worker"`
 	Sample  *obs.ResourceSample `json:"sample"`
@@ -83,27 +84,45 @@ type Analysis struct {
 // RunAnalysis reconstructs one root span (a pipeline run, or a detached job
 // when the engine was traced without the pipeline layer).
 type RunAnalysis struct {
-	Name             string         `json:"name"`
-	Kind             string         `json:"kind"`
-	Outcome          string         `json:"outcome"`
-	Err              string         `json:"err,omitempty"`
-	WallSeconds      float64        `json:"wall_s"`
-	SimulatedSeconds float64        `json:"sim_s"`
-	Counters         obs.Counters   `json:"counters"`
-	Wasted           obs.Counters   `json:"wasted"`
-	Retries          int64          `json:"retries"`
-	TaskAttempts     int            `json:"task_attempts"`
-	Faults           int            `json:"faults"`
-	Cancels          int            `json:"cancels"`
-	Phases           []PhaseRow     `json:"phases,omitempty"`
-	CriticalPath     []CPStep       `json:"critical_path"`
-	Skew             []SkewRow      `json:"skew,omitempty"`
-	Stragglers       []StragglerRow `json:"stragglers,omitempty"`
-	RetryWaste       []WasteRow     `json:"retry_waste,omitempty"`
-	Workers          []WorkerRow    `json:"workers,omitempty"`
-	Classified       []ClassifyRow  `json:"classified,omitempty"`
-	Timeline         []TimelineRow  `json:"timeline,omitempty"`
-	Slowest          []AttemptRow   `json:"slowest,omitempty"`
+	Name             string           `json:"name"`
+	Kind             string           `json:"kind"`
+	Outcome          string           `json:"outcome"`
+	Err              string           `json:"err,omitempty"`
+	WallSeconds      float64          `json:"wall_s"`
+	SimulatedSeconds float64          `json:"sim_s"`
+	Counters         obs.Counters     `json:"counters"`
+	Wasted           obs.Counters     `json:"wasted"`
+	Retries          int64            `json:"retries"`
+	TaskAttempts     int              `json:"task_attempts"`
+	Faults           int              `json:"faults"`
+	Cancels          int              `json:"cancels"`
+	Phases           []PhaseRow       `json:"phases,omitempty"`
+	CriticalPath     []CPStep         `json:"critical_path"`
+	Skew             []SkewRow        `json:"skew,omitempty"`
+	Stragglers       []StragglerRow   `json:"stragglers,omitempty"`
+	RetryWaste       []WasteRow       `json:"retry_waste,omitempty"`
+	Workers          []WorkerRow      `json:"workers,omitempty"`
+	Classified       []ClassifyRow    `json:"classified,omitempty"`
+	Timeline         []TimelineRow    `json:"timeline,omitempty"`
+	Slowest          []AttemptRow     `json:"slowest,omitempty"`
+	Convergence      []ConvergenceRow `json:"convergence,omitempty"`
+}
+
+// ConvergenceRow is the iteration series of one algorithm-level metric
+// point ("em_log_likelihood", "quality_outlier_mass", …): the driver emits
+// one PointMetric per EM iteration (or per phase for the signature/outlier
+// quality stats), and this row replays that series for the convergence
+// table and for run-to-run comparison in -diff.
+type ConvergenceRow struct {
+	Name   string             `json:"name"`
+	Points []ConvergencePoint `json:"points"`
+}
+
+// ConvergencePoint is one observation: Iter is the point's task field (the
+// EM iteration index; 0 for one-shot quality stats).
+type ConvergencePoint struct {
+	Iter  int     `json:"iter"`
+	Value float64 `json:"value"`
 }
 
 // WorkerRow attributes task attempts to one worker process of the
@@ -377,6 +396,7 @@ func analyzeRun(root *span, topK int) RunAnalysis {
 	}
 	type sampleAt struct{ ts, cpu float64 }
 	samples := make(map[string][]sampleAt)
+	conv := make(map[string][]ConvergencePoint)
 	var walk func(s *span)
 	walk = func(s *span) {
 		switch s.kind {
@@ -467,6 +487,12 @@ func analyzeRun(root *span, topK int) RunAnalysis {
 					wr.SpillBytes = p.Sample.SpillBytes
 				}
 				samples[p.Worker] = append(samples[p.Worker], sampleAt{p.TS, p.Sample.CPUSeconds})
+			case "metric":
+				iter := 0
+				if p.Task != nil {
+					iter = *p.Task
+				}
+				conv[p.Name] = append(conv[p.Name], ConvergencePoint{Iter: iter, Value: p.Value})
 			}
 		}
 		for _, c := range s.children {
@@ -499,7 +525,26 @@ func analyzeRun(root *span, topK int) RunAnalysis {
 	ra.Classified = classifyRows(tasks, workers)
 	ra.Timeline = timelineRows(tasks)
 	ra.Slowest = slowestAttempts(tasks, topK)
+	ra.Convergence = convergenceRows(conv)
 	return ra
+}
+
+// convergenceRows orders the collected metric series by name, and each
+// series by iteration (emission order breaks ties — metric points are
+// driver-side and arrive in order, but a merged trace may interleave).
+func convergenceRows(m map[string][]ConvergencePoint) []ConvergenceRow {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	rows := make([]ConvergenceRow, 0, len(names))
+	for _, n := range names {
+		pts := m[n]
+		sort.SliceStable(pts, func(i, j int) bool { return pts[i].Iter < pts[j].Iter })
+		rows = append(rows, ConvergenceRow{Name: n, Points: pts})
+	}
+	return rows
 }
 
 // slowFactor is the straggler threshold: an attempt is slow when its wall

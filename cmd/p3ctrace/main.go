@@ -3,10 +3,15 @@
 // the critical path, per-phase wall/simulated cost, task-duration skew,
 // straggler and retry-waste attribution, and the slowest task attempts.
 //
+// In -diff mode it compares two runs — each argument may be a trace file,
+// an archive record directory, or an archive root (the newest record is
+// picked) — and exits nonzero when a gated regression threshold trips.
+//
 // Usage:
 //
 //	p3ctrace [-json] [-top K] [-timeline] trace.jsonl
 //	p3crun ... -trace /dev/stdout | p3ctrace -
+//	p3ctrace -diff [-straggler-threshold S] [-wall-threshold F] [-sim-threshold F] runA runB
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 	"text/tabwriter"
 )
 
@@ -23,11 +29,27 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the full analysis as JSON")
 	topK := flag.Int("top", 10, "how many slowest task attempts to list")
 	timeline := flag.Bool("timeline", false, "render a worker-occupancy gantt against the driver critical path")
+	diffMode := flag.Bool("diff", false, "compare two runs (trace file, archive record dir, or archive root each) and gate on regressions")
+	stragGate := flag.Float64("straggler-threshold", -1, "with -diff: fail when total straggler seconds grow by more than this many seconds; negative disables")
+	wallGate := flag.Float64("wall-threshold", -1, "with -diff: fail when run wall seconds grow by more than this fraction (0.2 = +20%); negative disables")
+	simGate := flag.Float64("sim-threshold", -1, "with -diff: fail when run simulated seconds grow by more than this fraction; negative disables")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: p3ctrace [flags] trace.jsonl\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "       p3ctrace -diff [flags] runA runB\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *diffMode {
+		if flag.NArg() != 2 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		os.Exit(runTraceDiff(os.Stdout, flag.Arg(0), flag.Arg(1), diffGates{
+			stragglerSeconds: *stragGate,
+			wallFrac:         *wallGate,
+			simFrac:          *simGate,
+		}))
+	}
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
@@ -192,6 +214,20 @@ func writeRun(w io.Writer, r *RunAnalysis, timeline bool) error {
 		}
 	}
 
+	if len(r.Convergence) > 0 {
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "\nconvergence\tpoints\tfirst\tlast\ttrend")
+		for _, c := range r.Convergence {
+			first := c.Points[0].Value
+			last := c.Points[len(c.Points)-1].Value
+			fmt.Fprintf(tw, "%s\t%d\t%.6g\t%.6g\t%s\n",
+				c.Name, len(c.Points), first, last, sparkline(c.Points))
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+
 	if timeline {
 		if err := writeTimeline(w, r); err != nil {
 			return err
@@ -242,6 +278,36 @@ func stepSummary(steps map[string]float64) string {
 		out += fmt.Sprintf("%s=%.3fs", n, steps[n])
 	}
 	return out
+}
+
+// sparkChars is the 8-level vertical bar ramp of the convergence trend
+// column.
+var sparkChars = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders one metric series as a fixed-height bar ramp, scaled to
+// the series' own min..max. A flat series renders as a mid-level line.
+func sparkline(pts []ConvergencePoint) string {
+	if len(pts) == 0 {
+		return ""
+	}
+	lo, hi := pts[0].Value, pts[0].Value
+	for _, p := range pts {
+		if p.Value < lo {
+			lo = p.Value
+		}
+		if p.Value > hi {
+			hi = p.Value
+		}
+	}
+	var b strings.Builder
+	for _, p := range pts {
+		i := len(sparkChars) / 2
+		if hi > lo {
+			i = int((p.Value - lo) / (hi - lo) * float64(len(sparkChars)-1))
+		}
+		b.WriteRune(sparkChars[i])
+	}
+	return b.String()
 }
 
 // timelineWidth is the column budget of the -timeline gantt.

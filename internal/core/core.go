@@ -159,6 +159,21 @@ func (p *pipeline) observe(phase Phase, detail int) {
 	}
 }
 
+// metric publishes one algorithm-quality scalar: a typed metric point on
+// the given span (the open phase span, or the run span for cross-phase
+// aggregates) and the matching p3c_<name> registry gauge. Driver-side
+// values only, so they are bit-identical across backends; with tracing and
+// metrics off this is two nil checks.
+func (p *pipeline) metric(span obs.SpanID, name string, v float64) {
+	if p.tracer != nil {
+		p.tracer.Point(obs.Point{Span: span, Kind: obs.PointMetric, Name: name, Value: v})
+	}
+	reg := p.engine.Metrics()
+	if reg != nil {
+		reg.Gauge("p3c_" + name).Set(v)
+	}
+}
+
 // binCount applies the configured bin rule to a sample size.
 func (p *pipeline) binCount(n int) int {
 	var bins int
@@ -185,6 +200,12 @@ func (p *pipeline) run() (*Result, error) {
 	}
 	p.observe(PhaseHistograms, bins)
 	intervals, supports := relevantIntervals(hists, p.params.AlphaChi2)
+	var supportMass int64
+	for _, s := range supports {
+		supportMass += s
+	}
+	p.metric(p.phaseSpan, "quality_relevant_intervals", float64(len(intervals)))
+	p.metric(p.phaseSpan, "quality_interval_support_frac", float64(supportMass)/float64(p.n*p.dim))
 	ps.end(nil)
 	p.observe(PhaseRelevantIntervals, len(intervals))
 
@@ -193,6 +214,9 @@ func (p *pipeline) run() (*Result, error) {
 	gen := newCoreGenerator(p.params, p.engine, p.splits, p.n)
 	gen.trace = p.phaseSpan
 	proven, err := gen.run(intervals, supports)
+	if err == nil {
+		p.metric(p.phaseSpan, "quality_candidates_tested", float64(gen.tested))
+	}
 	ps.end(err)
 	if err != nil {
 		return nil, fmt.Errorf("core: cluster-core generation: %w", err)
@@ -220,6 +244,12 @@ func (p *pipeline) run() (*Result, error) {
 		ratios[i] = signature.InterestRatio(float64(coreSupports[i]), c, p.n)
 	}
 	p.cores, p.coreSupports, p.coreRatios = cores, coreSupports, ratios
+	var coreMass int64
+	for _, s := range coreSupports {
+		coreMass += s
+	}
+	p.metric(p.runSpan, "quality_cores", float64(len(cores)))
+	p.metric(p.runSpan, "quality_core_support_frac", float64(coreMass)/float64(p.n))
 
 	res := &Result{
 		Cores:        cores,

@@ -35,7 +35,7 @@ func TestChaosOpsServerLiveReads(t *testing.T) {
 		Metrics:     reg,
 	})
 
-	srv, err := obs.StartOps("127.0.0.1:0", reg, prog, nil)
+	srv, err := obs.StartOps("127.0.0.1:0", reg, prog, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -195,12 +195,13 @@ func FitMR(engine *mr.Engine, splits []*mr.Split, model *Model, opts FitOptions)
 	prevLL := math.Inf(-1)
 	iters := 0
 	for it := 0; it < opts.MaxIterations; it++ {
-		ll, err := emIteration(engine, splits, model, it, opts.TraceParent)
+		ll, h, err := emIteration(engine, splits, model, it, opts.TraceParent)
 		if err != nil {
 			return iters, err
 		}
 		iters++
 		meanLL := ll / float64(n)
+		emitConvergence(engine, opts.TraceParent, it, meanLL, h/float64(n), model)
 		if !math.IsInf(prevLL, -1) && meanLL-prevLL < opts.Tolerance {
 			prevLL = meanLL
 			break
@@ -216,6 +217,7 @@ type momentStat struct {
 	W2 float64   // Σ r_i²
 	L  []float64 // Σ r_i x_i
 	LL float64   // Σ log p(x) (only on component key 0, for convergence)
+	H  float64   // Σ −Σ_i r_i·ln r_i (only on key 0: responsibility entropy)
 }
 
 // covStat carries one component's weighted scatter matrix.
@@ -224,50 +226,43 @@ type covStat struct {
 }
 
 // emIteration runs one E+M cycle as two MR jobs and returns the data
-// log-likelihood under the pre-update model.
-func emIteration(engine *mr.Engine, splits []*mr.Split, model *Model, it int, trace obs.SpanID) (float64, error) {
+// log-likelihood and total responsibility entropy under the pre-update
+// model. Both jobs are registry-resolved (Impl + a gob model spec, no
+// closures) so one iteration runs identically on every backend, worker
+// processes included.
+func emIteration(engine *mr.Engine, splits []*mr.Split, model *Model, it int, trace obs.SpanID) (float64, float64, error) {
 	k := model.K()
 	d := len(model.Attrs)
 
 	// Job 1: weights and means.
+	spec1, err := encodeModelSpec(model, nil)
+	if err != nil {
+		return 0, 0, err
+	}
 	job1 := &mr.Job{
 		Name:        fmt.Sprintf("em-moments-%d", it),
 		Splits:      splits,
 		TraceParent: trace,
-		NewMapper: func() mr.Mapper {
-			return &momentsMapper{model: model}
-		},
-		TypedReducer: mr.TypedReducerFunc(func(ctx *mr.TaskContext, key string, values mr.Values) error {
-			agg := momentStat{L: make([]float64, d)}
-			for i := 0; i < values.Len(); i++ {
-				st := values.Value(i).(momentStat)
-				agg.W += st.W
-				agg.W2 += st.W2
-				agg.LL += st.LL
-				for j := range agg.L {
-					agg.L[j] += st.L[j]
-				}
-			}
-			ctx.Emit(key, agg)
-			return nil
-		}),
+		Impl:        "em-moments",
+		Spec:        spec1,
 	}
 	out1, err := engine.Run(job1)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	var n int64
 	for _, s := range splits {
 		n += int64(s.NumRows())
 	}
 	stats := make([]momentStat, k)
-	var totalLL float64
+	var totalLL, totalH float64
 	for _, p := range out1.Pairs {
 		var ci int
 		fmt.Sscanf(p.Key, "c%d", &ci)
 		st := p.Value.(momentStat)
 		stats[ci] = st
 		totalLL += st.LL
+		totalH += st.H
 	}
 	newMeans := make([][]float64, k)
 	for i := 0; i < k; i++ {
@@ -284,28 +279,20 @@ func emIteration(engine *mr.Engine, splits []*mr.Split, model *Model, it int, tr
 
 	// Job 2: covariances around the new means (weights from the old model's
 	// responsibilities, matching the standard M-step).
+	spec2, err := encodeModelSpec(model, newMeans)
+	if err != nil {
+		return 0, 0, err
+	}
 	job2 := &mr.Job{
 		Name:        fmt.Sprintf("em-cov-%d", it),
 		Splits:      splits,
 		TraceParent: trace,
-		NewMapper: func() mr.Mapper {
-			return &covMapper{model: model, means: newMeans}
-		},
-		TypedReducer: mr.TypedReducerFunc(func(ctx *mr.TaskContext, key string, values mr.Values) error {
-			agg := covStat{S: make([]float64, d*d)}
-			for i := 0; i < values.Len(); i++ {
-				st := values.Value(i).(covStat)
-				for j := range agg.S {
-					agg.S[j] += st.S[j]
-				}
-			}
-			ctx.Emit(key, agg)
-			return nil
-		}),
+		Impl:        "em-cov",
+		Spec:        spec2,
 	}
 	out2, err := engine.Run(job2)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	scatters := make([]covStat, k)
 	for _, p := range out2.Pairs {
@@ -331,9 +318,9 @@ func emIteration(engine *mr.Engine, splits []*mr.Split, model *Model, it int, tr
 		c.Cov = cov
 	}
 	if err := model.Prepare(); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	return totalLL, nil
+	return totalLL, totalH, nil
 }
 
 // momentsMapper accumulates per-component weighted sums over its split and
@@ -367,6 +354,13 @@ func (m *momentsMapper) Map(ctx *mr.TaskContext, global int, row []float64) erro
 	x := m.model.Project(m.proj, row)
 	ll := m.model.Responsibilities(m.resp, x, m.sc1, m.sc2)
 	m.stats[0].LL += ll
+	h := 0.0
+	for _, r := range m.resp {
+		if r > 0 {
+			h -= r * math.Log(r)
+		}
+	}
+	m.stats[0].H += h
 	for i, r := range m.resp {
 		st := &m.stats[i]
 		st.W += r

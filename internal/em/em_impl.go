@@ -1,0 +1,127 @@
+package em
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"p3cmr/internal/linalg"
+	"p3cmr/internal/mr"
+)
+
+// The EM jobs are registered by name (not passed as closures) so the
+// fitter runs on every backend, including multiprocess: a worker process
+// cannot receive a closure, but it can receive this spec and resolve
+// "em-moments"/"em-cov" through its own copy of the registry. gob
+// round-trips float64 bit-exactly, so a model rebuilt from the spec
+// computes the same responsibilities — to the bit — as the driver's live
+// model, which is what keeps EM output (and the convergence metric points
+// derived from it) identical across backends.
+func init() {
+	mr.RegisterWireValue(momentStat{})
+	mr.RegisterWireValue(covStat{})
+	mr.RegisterJobImpl("em-moments", buildMomentsJob)
+	mr.RegisterJobImpl("em-cov", buildCovJob)
+}
+
+// modelSpec is the wire form of a Model plus, for the covariance job, the
+// freshly estimated means the scatter is taken around.
+type modelSpec struct {
+	Attrs    []int
+	Weights  []float64
+	Means    [][]float64
+	Covs     [][]float64 // flattened d×d covariance per component
+	NewMeans [][]float64 // cov job only
+}
+
+// encodeModelSpec serializes the mixture (and optional new means) for the
+// job Spec blob.
+func encodeModelSpec(model *Model, newMeans [][]float64) ([]byte, error) {
+	sp := modelSpec{Attrs: model.Attrs, NewMeans: newMeans}
+	for _, c := range model.Components {
+		sp.Weights = append(sp.Weights, c.Weight)
+		sp.Means = append(sp.Means, c.Mean)
+		sp.Covs = append(sp.Covs, c.Cov.Data)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&sp); err != nil {
+		return nil, fmt.Errorf("em: encoding model spec: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeModelSpec rebuilds the prepared mixture from a job Spec blob.
+func decodeModelSpec(spec []byte) (*Model, [][]float64, error) {
+	var sp modelSpec
+	if err := gob.NewDecoder(bytes.NewReader(spec)).Decode(&sp); err != nil {
+		return nil, nil, fmt.Errorf("em: decoding model spec: %w", err)
+	}
+	d := len(sp.Attrs)
+	m := &Model{Attrs: sp.Attrs}
+	for i := range sp.Weights {
+		cov := linalg.NewMatrix(d, d)
+		copy(cov.Data, sp.Covs[i])
+		m.Components = append(m.Components, &Component{
+			Weight: sp.Weights[i],
+			Mean:   sp.Means[i],
+			Cov:    cov,
+		})
+	}
+	if err := m.Prepare(); err != nil {
+		return nil, nil, err
+	}
+	return m, sp.NewMeans, nil
+}
+
+// buildMomentsJob resolves the E-step/moments job: per-component Σr, Σr²,
+// Σr·x and the convergence stats (log-likelihood, responsibility entropy)
+// on component key 0.
+func buildMomentsJob(spec []byte) (mr.JobFuncs, error) {
+	model, _, err := decodeModelSpec(spec)
+	if err != nil {
+		return mr.JobFuncs{}, err
+	}
+	d := len(model.Attrs)
+	return mr.JobFuncs{
+		NewMapper: func() mr.Mapper { return &momentsMapper{model: model} },
+		TypedReducer: mr.TypedReducerFunc(func(ctx *mr.TaskContext, key string, values mr.Values) error {
+			agg := momentStat{L: make([]float64, d)}
+			for i := 0; i < values.Len(); i++ {
+				st := values.Value(i).(momentStat)
+				agg.W += st.W
+				agg.W2 += st.W2
+				agg.LL += st.LL
+				agg.H += st.H
+				for j := range agg.L {
+					agg.L[j] += st.L[j]
+				}
+			}
+			ctx.Emit(key, agg)
+			return nil
+		}),
+	}, nil
+}
+
+// buildCovJob resolves the M-step/covariance job: per-component scatter
+// around the new means carried in the spec.
+func buildCovJob(spec []byte) (mr.JobFuncs, error) {
+	model, newMeans, err := decodeModelSpec(spec)
+	if err != nil {
+		return mr.JobFuncs{}, err
+	}
+	d := len(model.Attrs)
+	return mr.JobFuncs{
+		NewMapper: func() mr.Mapper { return &covMapper{model: model, means: newMeans} },
+		TypedReducer: mr.TypedReducerFunc(func(ctx *mr.TaskContext, key string, values mr.Values) error {
+			agg := covStat{S: make([]float64, d*d)}
+			for i := 0; i < values.Len(); i++ {
+				st := values.Value(i).(covStat)
+				for j := range agg.S {
+					agg.S[j] += st.S[j]
+				}
+			}
+			ctx.Emit(key, agg)
+			return nil
+		}),
+	}, nil
+}

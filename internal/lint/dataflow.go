@@ -230,6 +230,49 @@ func edgeFacts(p *Pass, cond ast.Expr, when bool, into nilFacts) {
 	}
 }
 
+// killFactsFor drops the facts a statement invalidates by (re)defining
+// names: after `err := rename()`, a fact recorded for an earlier, distinct
+// `err` no longer holds, and printed-expression identity cannot tell the
+// two variables apart. Every fact rooted at an assigned name widens back to
+// unknown — conservative in the right direction, since stale facts prune
+// edges and hide leaks.
+func killFactsFor(p *Pass, s ast.Stmt, facts nilFacts) {
+	kill := func(name string) {
+		if name == "" || name == "_" {
+			return
+		}
+		for k := range facts {
+			if exprHead(k) == name {
+				delete(facts, k)
+			}
+		}
+	}
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			kill(exprHead(p.ExprString(lhs)))
+		}
+	case *ast.IncDecStmt:
+		kill(exprHead(p.ExprString(s.X)))
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						kill(name.Name)
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		for _, lhs := range []ast.Expr{s.Key, s.Value} {
+			if id, ok := lhs.(*ast.Ident); ok {
+				kill(id.Name)
+			}
+		}
+	}
+}
+
 // edgeContradicts reports whether taking the edge is impossible given the
 // known facts — e.g. an edge guarded by `tr == nil` when tr is known
 // non-nil. Path-sensitive analyses prune such edges.

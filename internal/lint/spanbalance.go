@@ -211,6 +211,7 @@ func (w *spanWalk) walk(blk *cfgBlock, idx int, facts nilFacts) {
 			w.leak = fmt.Sprintf("return at line %d leaves it open", line)
 			return
 		}
+		killFactsFor(w.pass, s, facts)
 	}
 	if len(blk.edges) == 0 {
 		return // abnormal termination (panic/os.Exit): obligation waived

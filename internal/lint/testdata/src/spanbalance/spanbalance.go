@@ -146,3 +146,43 @@ func badClosureNotCalled(tr *Tracer, fail bool) {
 	}
 	finish()
 }
+
+// --- run-archive writer idioms (PR 10) --------------------------------------
+
+// goodArchiveSeal traces a multi-stage seal (stage temp, atomic rename,
+// index append) that can fail at every step: each early error return closes
+// the span with the error before leaving, and the final End flows through
+// an End variable carrying the last stage's outcome.
+func goodArchiveSeal(tr *Tracer, stage, rename, index func() error) error {
+	tr.Begin(Start{ID: "seal"})
+	if err := stage(); err != nil {
+		tr.End(End{ID: "seal", Err: err.Error()})
+		return err
+	}
+	if err := rename(); err != nil {
+		tr.End(End{ID: "seal", Err: err.Error()})
+		return err
+	}
+	err := index()
+	e := End{ID: "seal"}
+	if err != nil {
+		e.Err = err.Error()
+	}
+	tr.End(e)
+	return err
+}
+
+// badArchiveSeal leaks the span when the mid-stage rename fails: only the
+// first and last exits close it.
+func badArchiveSeal(tr *Tracer, stage, rename func() error) error {
+	tr.Begin(Start{ID: "sealleak"}) // want "span .sealleak. begun here is not Ended on every path"
+	if err := stage(); err != nil {
+		tr.End(End{ID: "sealleak", Err: err.Error()})
+		return err
+	}
+	if err := rename(); err != nil {
+		return err
+	}
+	tr.End(End{ID: "sealleak"})
+	return nil
+}

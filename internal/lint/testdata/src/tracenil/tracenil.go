@@ -178,3 +178,29 @@ func (e *Engine) goodGoroutineInnerGuard() {
 		e.cfg.Tracer.Point(Point{})
 	}()
 }
+
+// --- algorithm-telemetry idioms (PR 10) -------------------------------------
+
+// badConvergenceEmit publishes a per-iteration convergence point without
+// guarding the handle: the fitter runs headless (no tracer) in most tests,
+// so the emission must tolerate a nil sink.
+func (e *Engine) badConvergenceEmit() {
+	e.cfg.Tracer.Point(Point{Name: "em_log_likelihood"}) // want "call e.cfg.Tracer.Point on a nilable tracing handle"
+}
+
+// goodConvergenceEmit is the fitter's accepted shape: hoist the handle
+// once, guard once, emit the whole per-iteration batch through the non-nil
+// local — and guard the registry leg separately, since tracing and metrics
+// are independently optional.
+func (e *Engine) goodConvergenceEmit(names []string) {
+	tr := e.cfg.Tracer
+	if tr != nil {
+		for _, n := range names {
+			tr.Point(Point{Name: n})
+		}
+	}
+	reg := e.cfg.Metrics
+	if reg != nil {
+		reg.Inc("p3c_em_iterations_total")
+	}
+}

@@ -34,7 +34,7 @@ func TestOpsProcLiveReads(t *testing.T) {
 		Metrics:     reg, TelemetrySample: 2 * time.Millisecond,
 	})
 
-	srv, err := obs.StartOps("127.0.0.1:0", reg, prog, workers)
+	srv, err := obs.StartOps("127.0.0.1:0", reg, prog, workers, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,389 @@
+// Package archive is the content-addressed run archive: every traced run
+// can be sealed as an immutable record — the JSONL event stream plus a
+// manifest binding it to the run's parameters hash, dataset fingerprint,
+// backend, spill config, counters and wall/sim seconds — under an ID
+// derived from the trace bytes themselves. Records are what `p3ctrace
+// -diff` compares and what the ops plane lists at /archive.
+//
+// Layout under the archive root:
+//
+//	<root>/index.json             — ordered manifest list (rebuilt on demand)
+//	<root>/<id>/trace.jsonl       — the sealed event stream
+//	<root>/<id>/manifest.json     — the record's manifest
+//
+// The ID is the hex prefix of sha256(trace), so sealing the same trace
+// twice is idempotent and a record's contents can always be re-verified
+// against its name (Verify re-hashes and re-parses the stream, catching
+// truncation and bit-rot).
+package archive
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"p3cmr/internal/obs"
+)
+
+// IDLen is the hex length of a record ID (64 bits of the trace hash —
+// plenty for a per-project archive, short enough to type).
+const IDLen = 16
+
+// Manifest binds one sealed trace to the run that produced it. Everything
+// a diff needs to decide "are these two runs comparable" lives here, so
+// listings never have to open the trace itself.
+type Manifest struct {
+	// ID is the content address: hex prefix of sha256 over the trace bytes.
+	ID string `json:"id"`
+	// Seq is the record's position in archive order (1-based, assigned at
+	// seal time); retention keeps the highest-Seq records.
+	Seq int64 `json:"seq"`
+	// Name is the run label (the root run span's name).
+	Name string `json:"name,omitempty"`
+	// CreatedUnix is the seal time.
+	CreatedUnix int64 `json:"created_unix"`
+	// Backend and Parallelism identify the execution substrate.
+	Backend     string `json:"backend,omitempty"`
+	Parallelism int    `json:"parallelism,omitempty"`
+	// SpillDir/SpillLimitBytes record the out-of-core configuration.
+	SpillDir        string `json:"spill_dir,omitempty"`
+	SpillLimitBytes int64  `json:"spill_limit_bytes,omitempty"`
+	// ParamsHash fingerprints the algorithm parameters; DatasetFingerprint
+	// the input file. Two records with equal hashes ran the same experiment.
+	ParamsHash         string `json:"params_hash,omitempty"`
+	DatasetFingerprint string `json:"dataset_fingerprint,omitempty"`
+	// Outcome is the run outcome ("ok", "error", …).
+	Outcome string `json:"outcome,omitempty"`
+	// WallSeconds/SimulatedSeconds are the run's measured and modeled cost.
+	WallSeconds      float64 `json:"wall_s,omitempty"`
+	SimulatedSeconds float64 `json:"sim_s,omitempty"`
+	// Counters/Wasted are the run's committed and discarded counter totals.
+	Counters obs.Counters `json:"counters"`
+	Wasted   obs.Counters `json:"wasted,omitempty"`
+	// Events is the trace's line count; TraceSHA256/TraceBytes pin the full
+	// hash and size for Verify.
+	Events      int    `json:"events"`
+	TraceSHA256 string `json:"trace_sha256"`
+	TraceBytes  int64  `json:"trace_bytes"`
+}
+
+// Archive is one archive root. Safe for concurrent use within a process;
+// cross-process writers are serialized only by the atomic rename of each
+// record directory (last index write wins, and the index self-heals from
+// the record dirs).
+type Archive struct {
+	mu   sync.Mutex
+	root string
+}
+
+// Open creates the root if needed and returns the archive handle.
+func Open(root string) (*Archive, error) {
+	if root == "" {
+		return nil, errors.New("archive: empty root")
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	return &Archive{root: root}, nil
+}
+
+// Root returns the archive root directory.
+func (a *Archive) Root() string { return a.root }
+
+// validateJSONL checks that r is a well-formed JSONL stream: every line is
+// a complete JSON value terminated by '\n'. Returns the line count. A
+// final chunk with no newline is a truncated write; an unparseable line is
+// corruption — both are sealing/verification failures.
+func validateJSONL(r io.Reader) (int, error) {
+	br := bufio.NewReader(r)
+	n := 0
+	for {
+		line, err := br.ReadBytes('\n')
+		if len(line) > 0 {
+			body := bytes.TrimRight(line, "\n")
+			if err == nil || errors.Is(err, io.EOF) {
+				if len(body) > 0 || err == nil {
+					if err != nil {
+						return n, fmt.Errorf("line %d: truncated (no trailing newline)", n+1)
+					}
+					if !json.Valid(body) {
+						return n, fmt.Errorf("line %d: invalid JSON", n+1)
+					}
+					n++
+				}
+			}
+		}
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return n, nil
+			}
+			return n, err
+		}
+	}
+}
+
+// Seal copies the trace at tracePath into the archive as an immutable
+// record, filling in the content-derived manifest fields (ID, Seq,
+// CreatedUnix, Events, TraceSHA256, TraceBytes). The run-identity fields
+// of m (Name, Backend, ParamsHash, …) are the caller's. Sealing the same
+// trace bytes twice returns the existing record unchanged.
+func (a *Archive) Seal(tracePath string, m Manifest) (Manifest, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	src, err := os.Open(tracePath)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("archive: %w", err)
+	}
+	defer src.Close()
+
+	// Stage the trace next to its final home so the rename below is atomic,
+	// hashing as we copy.
+	tmp, err := os.CreateTemp(a.root, ".seal-*")
+	if err != nil {
+		return Manifest{}, fmt.Errorf("archive: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	h := sha256.New()
+	size, err := io.Copy(io.MultiWriter(h, tmp), src)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return Manifest{}, fmt.Errorf("archive: staging trace: %w", err)
+	}
+
+	staged, err := os.Open(tmpName)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("archive: %w", err)
+	}
+	events, verr := validateJSONL(staged)
+	staged.Close()
+	if verr != nil {
+		return Manifest{}, fmt.Errorf("archive: refusing to seal %s: %v", tracePath, verr)
+	}
+
+	id := hex.EncodeToString(h.Sum(nil))[:IDLen]
+	if existing, err := a.record(id); err == nil {
+		return existing, nil
+	}
+
+	recs, _ := a.scan()
+	var maxSeq int64
+	for _, r := range recs {
+		if r.Seq > maxSeq {
+			maxSeq = r.Seq
+		}
+	}
+	m.ID = id
+	m.Seq = maxSeq + 1
+	m.CreatedUnix = obs.Now().Unix()
+	m.Events = events
+	m.TraceSHA256 = hex.EncodeToString(h.Sum(nil))
+	m.TraceBytes = size
+
+	stage := filepath.Join(a.root, ".record-"+id)
+	if err := os.MkdirAll(stage, 0o755); err != nil {
+		return Manifest{}, fmt.Errorf("archive: %w", err)
+	}
+	defer os.RemoveAll(stage)
+	if err := os.Rename(tmpName, filepath.Join(stage, "trace.jsonl")); err != nil {
+		return Manifest{}, fmt.Errorf("archive: %w", err)
+	}
+	mb, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return Manifest{}, fmt.Errorf("archive: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(stage, "manifest.json"), append(mb, '\n'), 0o644); err != nil {
+		return Manifest{}, fmt.Errorf("archive: %w", err)
+	}
+	if err := os.Rename(stage, filepath.Join(a.root, id)); err != nil {
+		return Manifest{}, fmt.Errorf("archive: %w", err)
+	}
+
+	recs = append(recs, m)
+	if err := a.writeIndex(recs); err != nil {
+		return Manifest{}, err
+	}
+	return m, nil
+}
+
+// record loads one manifest by ID (caller holds the lock or accepts a
+// point-in-time read).
+func (a *Archive) record(id string) (Manifest, error) {
+	b, err := os.ReadFile(filepath.Join(a.root, id, "manifest.json"))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("archive: record %s: %w", id, err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return Manifest{}, fmt.Errorf("archive: record %s: corrupt manifest: %w", id, err)
+	}
+	return m, nil
+}
+
+// Record returns the manifest for one record ID.
+func (a *Archive) Record(id string) (Manifest, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.record(id)
+}
+
+// TracePath returns the sealed trace file for one record ID.
+func (a *Archive) TracePath(id string) string {
+	return filepath.Join(a.root, id, "trace.jsonl")
+}
+
+// scan rebuilds the manifest list from the record directories — the
+// ground truth the index is a cache of.
+func (a *Archive) scan() ([]Manifest, error) {
+	ents, err := os.ReadDir(a.root)
+	if err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	var recs []Manifest
+	for _, e := range ents {
+		if !e.IsDir() || len(e.Name()) != IDLen {
+			continue
+		}
+		m, err := a.record(e.Name())
+		if err != nil {
+			continue // half-written record: invisible until its rename lands
+		}
+		recs = append(recs, m)
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Seq != recs[j].Seq {
+			return recs[i].Seq < recs[j].Seq
+		}
+		return recs[i].ID < recs[j].ID
+	})
+	return recs, nil
+}
+
+func (a *Archive) writeIndex(recs []Manifest) error {
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Seq != recs[j].Seq {
+			return recs[i].Seq < recs[j].Seq
+		}
+		return recs[i].ID < recs[j].ID
+	})
+	b, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	tmp := filepath.Join(a.root, ".index-tmp")
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(a.root, "index.json")); err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	return nil
+}
+
+// List returns all records in Seq order, rebuilding (and rewriting) the
+// index from the record directories so a stale or missing index self-heals.
+func (a *Archive) List() ([]Manifest, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	recs, err := a.scan()
+	if err != nil {
+		return nil, err
+	}
+	if err := a.writeIndex(recs); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// ListJSON renders the record list as JSON — the ops plane's /archive
+// payload (obs.ArchiveLister).
+func (a *Archive) ListJSON() ([]byte, error) {
+	recs, err := a.List()
+	if err != nil {
+		return nil, err
+	}
+	if recs == nil {
+		recs = []Manifest{}
+	}
+	b, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Verify re-checks one record against its manifest: the trace must still
+// hash to TraceSHA256 at TraceBytes length and parse as Events complete
+// JSONL lines. Any mismatch (truncation, corruption, tampering) is an
+// error naming what drifted.
+func (a *Archive) Verify(id string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	m, err := a.record(id)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(a.TracePath(id))
+	if err != nil {
+		return fmt.Errorf("archive: record %s: %w", id, err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	size, err := io.Copy(h, f)
+	if err != nil {
+		return fmt.Errorf("archive: record %s: %w", id, err)
+	}
+	if size != m.TraceBytes {
+		return fmt.Errorf("archive: record %s: trace is %d bytes, manifest says %d (truncated?)", id, size, m.TraceBytes)
+	}
+	if got := hex.EncodeToString(h.Sum(nil)); got != m.TraceSHA256 {
+		return fmt.Errorf("archive: record %s: trace hash %s does not match manifest %s (corrupt)", id, got[:IDLen], m.TraceSHA256[:IDLen])
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("archive: record %s: %w", id, err)
+	}
+	events, verr := validateJSONL(f)
+	if verr != nil {
+		return fmt.Errorf("archive: record %s: %v", id, verr)
+	}
+	if events != m.Events {
+		return fmt.Errorf("archive: record %s: trace has %d events, manifest says %d", id, events, m.Events)
+	}
+	return nil
+}
+
+// Prune applies the retention policy: keep the newest `keep` records (by
+// Seq), delete the rest. keep <= 0 keeps everything.
+func (a *Archive) Prune(keep int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if keep <= 0 {
+		return nil
+	}
+	recs, err := a.scan()
+	if err != nil {
+		return err
+	}
+	if len(recs) <= keep {
+		return nil
+	}
+	drop := recs[:len(recs)-keep]
+	for _, m := range drop {
+		if err := os.RemoveAll(filepath.Join(a.root, m.ID)); err != nil {
+			return fmt.Errorf("archive: prune %s: %w", m.ID, err)
+		}
+	}
+	return a.writeIndex(recs[len(recs)-keep:])
+}

@@ -1,0 +1,225 @@
+package archive
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"p3cmr/internal/obs"
+)
+
+// writeTrace writes a small well-formed JSONL trace and returns its path.
+func writeTrace(t *testing.T, dir, name string, lines ...string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+var demoLines = []string{
+	`{"ev":"begin","ts":0,"id":1,"kind":"run","name":"demo"}`,
+	`{"ev":"point","ts":0.5,"span":1,"point":"metric","name":"em_log_likelihood","value":-12.5}`,
+	`{"ev":"end","ts":1,"id":1,"kind":"run","name":"demo","outcome":"ok","real_s":1}`,
+}
+
+func TestArchiveSealRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(filepath.Join(dir, "arch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := writeTrace(t, dir, "run.jsonl", demoLines...)
+
+	in := Manifest{
+		Name:               "demo",
+		Backend:            "inprocess",
+		Parallelism:        4,
+		ParamsHash:         "abcd",
+		DatasetFingerprint: "ef01",
+		Outcome:            "ok",
+		WallSeconds:        1.25,
+		SimulatedSeconds:   3.5,
+		Counters:           obs.Counters{MapInputRecords: 100, OutputRecords: 7},
+	}
+	m, err := a.Seal(trace, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.ID) != IDLen {
+		t.Fatalf("ID %q, want %d hex chars", m.ID, IDLen)
+	}
+	if m.Seq != 1 || m.Events != len(demoLines) || m.TraceBytes == 0 || m.CreatedUnix == 0 {
+		t.Fatalf("content fields not filled: %+v", m)
+	}
+	if m.Name != "demo" || m.Backend != "inprocess" || m.ParamsHash != "abcd" ||
+		m.DatasetFingerprint != "ef01" || m.Counters.MapInputRecords != 100 {
+		t.Fatalf("caller fields not preserved: %+v", m)
+	}
+
+	// Round-trip: Record re-reads the manifest from disk bit-for-bit.
+	got, err := a.Record(m.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("manifest round-trip drifted:\n got %+v\nwant %+v", got, m)
+	}
+	if err := a.Verify(m.ID); err != nil {
+		t.Fatalf("fresh record fails Verify: %v", err)
+	}
+
+	// Content addressing: sealing the same bytes again is idempotent.
+	again, err := a.Seal(trace, Manifest{Name: "other-label"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ID != m.ID || again.Seq != m.Seq || again.Name != "demo" {
+		t.Fatalf("re-seal not idempotent: %+v vs %+v", again, m)
+	}
+	recs, err := a.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+}
+
+func TestArchiveSealRejectsTruncatedAndCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(filepath.Join(dir, "arch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A write cut off mid-line (no trailing newline) must not seal.
+	trunc := filepath.Join(dir, "trunc.jsonl")
+	whole := strings.Join(demoLines, "\n") + "\n"
+	if err := os.WriteFile(trunc, []byte(whole[:len(whole)-10]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Seal(trunc, Manifest{}); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncated trace sealed, err=%v", err)
+	}
+
+	// A line that is not valid JSON must not seal either.
+	corrupt := writeTrace(t, dir, "corrupt.jsonl", demoLines[0], `{"ev":"end",`, demoLines[2])
+	if _, err := a.Seal(corrupt, Manifest{}); err == nil || !strings.Contains(err.Error(), "invalid JSON") {
+		t.Fatalf("corrupt trace sealed, err=%v", err)
+	}
+	if recs, _ := a.List(); len(recs) != 0 {
+		t.Fatalf("rejected seals left %d records behind", len(recs))
+	}
+}
+
+func TestArchiveVerifyCatchesPostSealDamage(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(filepath.Join(dir, "arch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := writeTrace(t, dir, "run.jsonl", demoLines...)
+	m, err := a.Seal(trace, Manifest{Name: "demo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sealed := a.TracePath(m.ID)
+	orig, err := os.ReadFile(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncation after sealing: size mismatch.
+	if err := os.WriteFile(sealed, orig[:len(orig)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Verify(m.ID); err == nil || !strings.Contains(err.Error(), "bytes") {
+		t.Fatalf("Verify missed truncation: %v", err)
+	}
+
+	// Same-length bit flip: hash mismatch.
+	flipped := append([]byte(nil), orig...)
+	flipped[len(flipped)/2] ^= 0x01
+	if err := os.WriteFile(sealed, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Verify(m.ID); err == nil || !strings.Contains(err.Error(), "hash") {
+		t.Fatalf("Verify missed corruption: %v", err)
+	}
+
+	// Restored bytes verify clean again.
+	if err := os.WriteFile(sealed, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Verify(m.ID); err != nil {
+		t.Fatalf("restored record fails Verify: %v", err)
+	}
+}
+
+func TestArchiveIndexOrderAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(filepath.Join(dir, "arch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 4; i++ {
+		// Vary the trace bytes so each seal gets its own content address.
+		trace := writeTrace(t, dir, "run.jsonl", demoLines[0],
+			`{"ev":"point","ts":1,"span":1,"point":"metric","name":"n","value":`+string(rune('0'+i))+`}`,
+			demoLines[2])
+		m, err := a.Seal(trace, Manifest{Name: "run"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Seq != int64(i+1) {
+			t.Fatalf("seal %d got Seq %d", i, m.Seq)
+		}
+		ids = append(ids, m.ID)
+	}
+
+	// Index self-heals: delete it, List still finds everything in order.
+	if err := os.Remove(filepath.Join(a.Root(), "index.json")); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := a.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4", len(recs))
+	}
+	for i, r := range recs {
+		if r.ID != ids[i] {
+			t.Fatalf("index order: pos %d = %s, want %s", i, r.ID, ids[i])
+		}
+	}
+
+	// Retention: keep the newest 2, oldest 2 go away (dirs included).
+	if err := a.Prune(2); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = a.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].ID != ids[2] || recs[1].ID != ids[3] {
+		t.Fatalf("prune kept wrong records: %+v", recs)
+	}
+	if _, err := os.Stat(filepath.Join(a.Root(), ids[0])); !os.IsNotExist(err) {
+		t.Fatalf("pruned record dir still present: %v", err)
+	}
+
+	// ListJSON is the ops-plane payload: valid JSON array of manifests.
+	b, err := a.ListJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(string(b)), "[") || !strings.Contains(string(b), ids[3]) {
+		t.Fatalf("ListJSON payload: %s", b)
+	}
+}

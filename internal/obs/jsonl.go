@@ -29,6 +29,7 @@ type jsonlLine struct {
 	RealS   float64   `json:"real_s,omitempty"`
 	SimS    float64   `json:"sim_s,omitempty"`
 	Seconds float64   `json:"seconds,omitempty"`
+	Value   float64   `json:"value,omitempty"`
 	Retries int64           `json:"retries,omitempty"`
 	Worker  string          `json:"worker,omitempty"`
 	Sample  *ResourceSample `json:"sample,omitempty"`
@@ -146,6 +147,7 @@ func pointLine(p Point) *jsonlLine {
 		Attempt: p.Attempt,
 		Phase:   p.Phase,
 		Seconds: p.Seconds,
+		Value:   p.Value,
 		Worker:  p.Worker,
 		Sample:  p.Sample,
 		at:      p.At,

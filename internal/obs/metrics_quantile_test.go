@@ -1,0 +1,65 @@
+package obs
+
+import "testing"
+
+// TestQuantileEdgeCases pins HistogramSnapshot.Quantile on the degenerate
+// shapes the exposition path can feed it: empty histograms, a single
+// populated bucket, and all mass in the overflow bucket.
+func TestQuantileEdgeCases(t *testing.T) {
+	// Empty: no observations, and no bounds at all.
+	empty := HistogramSnapshot{Bounds: []float64{1, 2}, Counts: []int64{0, 0, 0}}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	unbounded := HistogramSnapshot{Count: 5}
+	if got := unbounded.Quantile(0.5); got != 0 {
+		t.Fatalf("boundless histogram Quantile(0.5) = %v, want 0", got)
+	}
+
+	// Single bucket holding every observation: all quantiles interpolate
+	// inside [lo, hi] of that bucket and stay monotone in q.
+	single := HistogramSnapshot{
+		Bounds: []float64{1, 2, 4},
+		Counts: []int64{0, 10, 0, 0},
+		Count:  10,
+		Sum:    15,
+	}
+	prev := -1.0
+	for _, q := range []float64{0.1, 0.5, 0.9, 1} {
+		got := single.Quantile(q)
+		if got < 1 || got > 2 {
+			t.Fatalf("single-bucket Quantile(%v) = %v, want within (1, 2]", q, got)
+		}
+		if got < prev {
+			t.Fatalf("Quantile not monotone: q=%v gave %v after %v", q, got, prev)
+		}
+		prev = got
+	}
+	if got, want := single.Quantile(0.5), 1.5; got != want {
+		t.Fatalf("single-bucket median = %v, want %v", got, want)
+	}
+
+	// All mass beyond the last bound: the overflow bucket has no upper edge
+	// to interpolate toward, so every quantile clamps to the last bound.
+	overflow := HistogramSnapshot{
+		Bounds: []float64{0.01, 0.1, 1},
+		Counts: []int64{0, 0, 0, 7},
+		Count:  7,
+		Sum:    700,
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if got := overflow.Quantile(q); got != 1 {
+			t.Fatalf("overflow-only Quantile(%v) = %v, want 1 (last bound)", q, got)
+		}
+	}
+
+	// Out-of-range q clamps instead of panicking or extrapolating.
+	if got := single.Quantile(-3); got != single.Quantile(0) {
+		t.Fatalf("Quantile(-3) = %v, want clamp to Quantile(0) = %v", got, single.Quantile(0))
+	}
+	if got := single.Quantile(7); got != single.Quantile(1) {
+		t.Fatalf("Quantile(7) = %v, want clamp to Quantile(1) = %v", got, single.Quantile(1))
+	}
+}

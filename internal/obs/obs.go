@@ -124,6 +124,11 @@ const (
 	// PointSample carries a periodic worker resource snapshot (Sample is
 	// non-nil); emitted by the multiprocess backend's worker telemetry.
 	PointSample
+	// PointMetric carries one algorithm-level scalar (Name is the metric
+	// name, Value the observation, Task the iteration index where one
+	// applies). Emitted driver-side only — metric points never cross the
+	// worker telemetry wire — so they are deterministic across backends.
+	PointMetric
 )
 
 // String names the point kind.
@@ -139,6 +144,8 @@ func (p PointKind) String() string {
 		return "cancel"
 	case PointSample:
 		return "sample"
+	case PointMetric:
+		return "metric"
 	default:
 		return "unknown"
 	}
@@ -230,6 +237,9 @@ type Point struct {
 	Phase   string
 	// Seconds carries the straggler charge for PointStraggler.
 	Seconds float64
+	// Value carries the observation for PointMetric (Name is the metric
+	// name; Task the iteration index where one applies).
+	Value float64
 	// Worker identifies the worker process the event occurred on (see
 	// End.Worker); "" for in-process execution.
 	Worker string

@@ -83,6 +83,15 @@ func promName(n string) string {
 	return string(out)
 }
 
+// ArchiveLister is the run archive's ops-plane face: the /archive endpoint
+// serves whatever it renders. Implemented by *archive.Archive; declared
+// here (as a one-method interface) so obs does not import the archive
+// package.
+type ArchiveLister interface {
+	// ListJSON renders the archived record manifests as a JSON array.
+	ListJSON() ([]byte, error)
+}
+
 // NewOpsMux builds the ops-plane HTTP handler:
 //
 //	/healthz            liveness probe ("ok")
@@ -92,12 +101,13 @@ func promName(n string) string {
 //	/runs               JSON array of live + recent run progress snapshots
 //	/runs/{id}          one run's snapshot (404 unknown)
 //	/workers            JSON array of per-worker telemetry snapshots
+//	/archive            JSON array of archived run manifests
 //	/debug/pprof/...    the standard runtime profiles
 //
-// reg, prog and workers may each be nil; the corresponding endpoints then
-// report 503. The handler only reads snapshots, so it is safe to serve
-// while runs are in flight.
-func NewOpsMux(reg *Registry, prog *Progress, workers *WorkerStats) *http.ServeMux {
+// reg, prog, workers and arch may each be nil; the corresponding endpoints
+// then report 503. The handler only reads snapshots, so it is safe to
+// serve while runs are in flight.
+func NewOpsMux(reg *Registry, prog *Progress, workers *WorkerStats, arch ArchiveLister) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -145,6 +155,19 @@ func NewOpsMux(reg *Registry, prog *Progress, workers *WorkerStats) *http.ServeM
 		}
 		writeJSON(w, snap)
 	})
+	mux.HandleFunc("GET /archive", func(w http.ResponseWriter, _ *http.Request) {
+		if arch == nil {
+			http.Error(w, "run archive not configured", http.StatusServiceUnavailable)
+			return
+		}
+		b, err := arch.ListJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -168,12 +191,12 @@ type OpsServer struct {
 
 // StartOps listens on addr (":0" picks a free port) and serves the ops mux
 // in a background goroutine until Close.
-func StartOps(addr string, reg *Registry, prog *Progress, workers *WorkerStats) (*OpsServer, error) {
+func StartOps(addr string, reg *Registry, prog *Progress, workers *WorkerStats, arch ArchiveLister) (*OpsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: ops server: %w", err)
 	}
-	s := &OpsServer{ln: ln, srv: &http.Server{Handler: NewOpsMux(reg, prog, workers)}}
+	s := &OpsServer{ln: ln, srv: &http.Server{Handler: NewOpsMux(reg, prog, workers, arch)}}
 	go s.srv.Serve(ln)
 	return s, nil
 }

@@ -17,8 +17,22 @@ import (
 // buckets, quantile gauges as separate families.
 const goldenMetrics = `# TYPE jobs_total counter
 jobs_total 3
+# TYPE p3c_em_iterations_total counter
+p3c_em_iterations_total 4
+# TYPE p3c_quality_outliers_total counter
+p3c_quality_outliers_total 9
 # TYPE records_in counter
 records_in 1200
+# TYPE p3c_em_active_clusters gauge
+p3c_em_active_clusters 3
+# TYPE p3c_em_log_likelihood gauge
+p3c_em_log_likelihood -38.25
+# TYPE p3c_em_resp_entropy gauge
+p3c_em_resp_entropy 0.5
+# TYPE p3c_quality_cores gauge
+p3c_quality_cores 3
+# TYPE p3c_quality_outlier_mass gauge
+p3c_quality_outlier_mass 0.0045
 # TYPE shuffle_fill gauge
 shuffle_fill 0.75
 # TYPE task_seconds histogram
@@ -41,6 +55,15 @@ func goldenRegistry() *Registry {
 	reg.Counter("jobs_total").Add(3)
 	reg.Counter("records_in").Add(1200)
 	reg.Gauge("shuffle_fill").Set(0.75)
+	// The algorithm-telemetry families, as the EM fitter and the
+	// signature/outlier phases publish them.
+	reg.Counter("p3c_em_iterations_total").Add(4)
+	reg.Gauge("p3c_em_log_likelihood").Set(-38.25)
+	reg.Gauge("p3c_em_resp_entropy").Set(0.5)
+	reg.Gauge("p3c_em_active_clusters").Set(3)
+	reg.Counter("p3c_quality_outliers_total").Add(9)
+	reg.Gauge("p3c_quality_outlier_mass").Set(0.0045)
+	reg.Gauge("p3c_quality_cores").Set(3)
 	h := reg.Histogram("task_seconds", []float64{0.01, 0.1, 1})
 	for _, v := range []float64{0.005, 0.05, 0.1, 0.4, 12.005} {
 		h.Observe(v)
@@ -173,7 +196,7 @@ func TestOpsMuxEndpoints(t *testing.T) {
 	live := NewSpanID()
 	prog.Begin(Start{ID: live, Kind: KindRun, Name: "in-flight"})
 
-	srv := httptest.NewServer(NewOpsMux(reg, prog, nil))
+	srv := httptest.NewServer(NewOpsMux(reg, prog, nil, nil))
 	defer srv.Close()
 
 	get := func(path string) (int, string) {
@@ -229,10 +252,47 @@ func TestOpsMuxEndpoints(t *testing.T) {
 	}
 }
 
-func TestOpsMuxUnconfigured(t *testing.T) {
-	srv := httptest.NewServer(NewOpsMux(nil, nil, nil))
+// fakeLister stands in for *archive.Archive (obs cannot import the archive
+// package) on the /archive endpoint.
+type fakeLister struct {
+	payload string
+	err     error
+}
+
+func (f fakeLister) ListJSON() ([]byte, error) { return []byte(f.payload), f.err }
+
+func TestOpsMuxArchiveEndpoint(t *testing.T) {
+	srv := httptest.NewServer(NewOpsMux(nil, nil, nil, fakeLister{payload: `[{"id":"abc"}]`}))
 	defer srv.Close()
-	for _, path := range []string{"/metrics", "/runs", "/runs/1", "/workers"} {
+	resp, err := http.Get(srv.URL + "/archive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || string(b) != `[{"id":"abc"}]` {
+		t.Errorf("/archive = %d %q", resp.StatusCode, b)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/archive Content-Type = %q", ct)
+	}
+
+	broken := httptest.NewServer(NewOpsMux(nil, nil, nil, fakeLister{err: fmt.Errorf("index unreadable")}))
+	defer broken.Close()
+	resp2, err := http.Get(broken.URL + "/archive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusInternalServerError {
+		t.Errorf("/archive with failing lister = %d, want 500", resp2.StatusCode)
+	}
+}
+
+func TestOpsMuxUnconfigured(t *testing.T) {
+	srv := httptest.NewServer(NewOpsMux(nil, nil, nil, nil))
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/runs", "/runs/1", "/workers", "/archive"} {
 		resp, err := http.Get(srv.URL + path)
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)
@@ -245,7 +305,7 @@ func TestOpsMuxUnconfigured(t *testing.T) {
 }
 
 func TestStartOps(t *testing.T) {
-	srv, err := StartOps("127.0.0.1:0", goldenRegistry(), NewProgress(), nil)
+	srv, err := StartOps("127.0.0.1:0", goldenRegistry(), NewProgress(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -77,6 +77,7 @@ type runState struct {
 	retries                     int64
 	counters, wasted            Counters
 	simSeconds                  float64
+	quality                     map[string]float64
 }
 
 // phaseState accumulates one pipeline phase within a run.
@@ -232,6 +233,13 @@ func (p *Progress) Point(pt Point) {
 		r.stragglerSeconds += pt.Seconds
 	case PointCancel:
 		r.cancels++
+	case PointMetric:
+		// Algorithm-level convergence/quality series: keep the latest value
+		// per metric name (the full series lives in the trace).
+		if r.quality == nil {
+			r.quality = make(map[string]float64)
+		}
+		r.quality[pt.Name] = pt.Value
 	}
 }
 
@@ -244,7 +252,8 @@ func (p *Progress) finishRun(r *runState, e End) {
 	snap.Err = e.Err
 	snap.ElapsedSeconds = e.RealSeconds
 	snap.ETASeconds = 0
-	if snap.ElapsedSeconds > 0 {
+	snap.RecordsPerSec = 0
+	if snap.ElapsedSeconds >= minRateElapsed {
 		snap.RecordsPerSec = float64(snap.Records) / snap.ElapsedSeconds
 	}
 	p.done = append(p.done, snap)
@@ -314,7 +323,16 @@ type RunSnapshot struct {
 	SimulatedSeconds float64         `json:"sim_s"`
 	Counters         Counters        `json:"counters"`
 	Wasted           Counters        `json:"wasted"`
+	// Quality holds the latest value of each algorithm metric point the run
+	// emitted (EM convergence, signature/outlier quality).
+	Quality map[string]float64 `json:"quality,omitempty"`
 }
+
+// minRateElapsed is the elapsed-seconds floor below which RecordsPerSec is
+// not derived: dividing a counter delta by a sub-millisecond wall reading
+// turns a trivial instant phase into a records/sec figure in the billions,
+// which is noise, not throughput.
+const minRateElapsed = 1e-3
 
 // snapshotLocked builds the snapshot of a live run. Caller holds p.mu.
 func (p *Progress) snapshotLocked(r *runState, live bool) RunSnapshot {
@@ -340,9 +358,15 @@ func (p *Progress) snapshotLocked(r *runState, live bool) RunSnapshot {
 	if r.current != nil {
 		snap.CurrentPhase = r.current.name
 	}
+	if len(r.quality) > 0 {
+		snap.Quality = make(map[string]float64, len(r.quality))
+		for k, v := range r.quality {
+			snap.Quality[k] = v
+		}
+	}
 	if live {
 		snap.ElapsedSeconds = Since(r.start).Seconds()
-		if snap.ElapsedSeconds > 0 {
+		if snap.ElapsedSeconds >= minRateElapsed {
 			snap.RecordsPerSec = float64(snap.Records) / snap.ElapsedSeconds
 		}
 		snap.ETASeconds = p.etaLocked(r, snap.ElapsedSeconds)

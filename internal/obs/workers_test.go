@@ -108,7 +108,7 @@ func TestWorkerStatsPrometheusGolden(t *testing.T) {
 // into the ops mux, including the appended worker families on /metrics.
 func TestWorkersEndpoint(t *testing.T) {
 	ws := feedWorkerStats()
-	mux := NewOpsMux(NewRegistry(), NewProgress(), ws)
+	mux := NewOpsMux(NewRegistry(), NewProgress(), ws, nil)
 
 	rec := httptest.NewRecorder()
 	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/workers", nil))

@@ -109,7 +109,32 @@ func Detect(engine *mr.Engine, splits []*mr.Split, model *em.Model, n int, metho
 		}
 		labels[idx[0]] = idx[1]
 	}
+	emitOutlierStats(engine, trace, labels, n)
 	return labels, nil
+}
+
+// emitOutlierStats publishes the phase's quality signals — outlier count
+// and outlier mass (fraction of all points flagged) — as metric points on
+// the phase span and p3c_quality_* registry families. Driver-side, from
+// the final label vector, so the values are bit-identical across backends.
+func emitOutlierStats(engine *mr.Engine, span obs.SpanID, labels []int, n int) {
+	outliers := 0
+	for _, l := range labels {
+		if l == OutlierLabel {
+			outliers++
+		}
+	}
+	mass := float64(outliers) / float64(n)
+	tr := engine.Tracer()
+	if tr != nil {
+		tr.Point(obs.Point{Span: span, Kind: obs.PointMetric, Name: "quality_outliers", Value: float64(outliers)})
+		tr.Point(obs.Point{Span: span, Kind: obs.PointMetric, Name: "quality_outlier_mass", Value: mass})
+	}
+	reg := engine.Metrics()
+	if reg != nil {
+		reg.Counter("p3c_quality_outliers_total").Add(int64(outliers))
+		reg.Gauge("p3c_quality_outlier_mass").Set(mass)
+	}
 }
 
 // odMapper is the map-only OD job: it emits (global index, label).
